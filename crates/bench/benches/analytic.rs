@@ -1,0 +1,54 @@
+//! Criterion bench: throughput of the first-order analytic model — the
+//! cheap engine everything long-horizon (policies, multi-core) runs on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use selfheal_bti::analytic::{AnalyticBti, CycleModel, RecoveryModel, StressModel};
+use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_units::{Celsius, Hours, Ratio, Seconds, Volts};
+
+fn bench_analytic(c: &mut Criterion) {
+    let env = Environment::new(Volts::new(1.2), Celsius::new(110.0));
+    let stress = StressModel::default();
+    let recovery = RecoveryModel::default();
+
+    c.bench_function("analytic/stress_eval", |b| {
+        b.iter(|| stress.delta_vth(black_box(Seconds::new(86_400.0)), black_box(env)))
+    });
+
+    c.bench_function("analytic/recovery_eval", |b| {
+        b.iter(|| {
+            recovery.recovered_fraction(
+                black_box(Seconds::new(21_600.0)),
+                black_box(Seconds::new(86_400.0)),
+                black_box(Environment::new(Volts::new(-0.3), Celsius::new(110.0))),
+            )
+        })
+    });
+
+    c.bench_function("analytic/advance_day", |b| {
+        b.iter(|| {
+            let mut model = AnalyticBti::default();
+            model.advance(
+                DeviceCondition::dc_stress(black_box(env)),
+                Hours::new(24.0).into(),
+            );
+            model.delta_vth()
+        })
+    });
+
+    c.bench_function("analytic/cycle_model_8_cycles", |b| {
+        let model = CycleModel {
+            alpha: Ratio::PAPER_ALPHA,
+            period: Hours::new(30.0).into(),
+            active: DeviceCondition::dc_stress(env),
+            sleep: DeviceCondition::recovery(Environment::new(
+                Volts::new(-0.3),
+                Celsius::new(110.0),
+            )),
+        };
+        b.iter(|| model.run(black_box(8)))
+    });
+}
+
+criterion_group!(benches, bench_analytic);
+criterion_main!(benches);

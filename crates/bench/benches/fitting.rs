@@ -1,0 +1,46 @@
+//! Criterion bench: the Table 3 parameter extraction — grid search plus
+//! refinement over realistic-length measurement series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use selfheal::fitting::{FittedRecoveryCurve, FittedStressCurve};
+use selfheal_units::{Nanoseconds, Seconds};
+
+fn stress_series() -> Vec<(Seconds, Nanoseconds)> {
+    // 73 points, like a 24 h phase sampled every 20 minutes.
+    (0..=72)
+        .map(|i| {
+            let t = 1200.0 * f64::from(i);
+            (
+                Seconds::new(t),
+                Nanoseconds::new(0.35 * (1.0 + 5e-3 * t).ln()),
+            )
+        })
+        .collect()
+}
+
+fn recovery_series() -> Vec<(Seconds, Nanoseconds)> {
+    // 13 points, like a 6 h phase sampled every 30 minutes.
+    (0..=12)
+        .map(|i| {
+            let t2 = 1800.0 * f64::from(i);
+            let g = (1.0 + 2e-2 * t2).ln() / (1.0 + 0.5 * (1.0 + 2e-2 * (86_400.0 + t2)).ln());
+            (Seconds::new(t2), Nanoseconds::new(2.0 * g))
+        })
+        .collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let stress = stress_series();
+    let recovery = recovery_series();
+
+    c.bench_function("fitting/stress_curve_73pts", |b| {
+        b.iter(|| FittedStressCurve::fit(black_box(&stress)))
+    });
+
+    c.bench_function("fitting/recovery_curve_13pts", |b| {
+        b.iter(|| FittedRecoveryCurve::fit(black_box(&recovery), Seconds::new(86_400.0)))
+    });
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: the multi-core aging race — scheduling step cost and
+//! month-scale simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use selfheal_multicore::scheduler::{CircadianRotation, HeaterAware};
+use selfheal_multicore::sim::{MulticoreSim, SimConfig};
+use selfheal_multicore::workload::Workload;
+
+fn bench_multicore(c: &mut Criterion) {
+    c.bench_function("multicore/single_step_rotation", |b| {
+        b.iter_batched(
+            || {
+                MulticoreSim::new(
+                    SimConfig::default(),
+                    Box::new(CircadianRotation::paper_default()),
+                    Workload::constant(6),
+                )
+            },
+            |mut sim| {
+                sim.step();
+                black_box(sim.now())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("multicore/30_days_heater_aware", |b| {
+        b.iter(|| {
+            let mut sim = MulticoreSim::new(
+                SimConfig::default(),
+                Box::new(HeaterAware::paper_default()),
+                Workload::diurnal(2, 8),
+            );
+            sim.run_days(black_box(30.0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_multicore);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: the FPGA measurement pipeline — chip construction,
+//! full-fabric aging steps and counter reads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_bti::Environment;
+use selfheal_fpga::{Chip, ChipId, RoMode};
+use selfheal_units::{Celsius, Hours, Volts};
+
+fn bench_ro(c: &mut Criterion) {
+    let hot = Environment::new(Volts::new(1.2), Celsius::new(110.0));
+
+    c.bench_function("ro/sample_chip", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut next = 0u32;
+        b.iter(|| {
+            next += 1;
+            Chip::commercial_40nm(ChipId::new(next), &mut rng)
+        })
+    });
+
+    c.bench_function("ro/measure", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let chip = Chip::commercial_40nm(ChipId::new(1), &mut rng);
+        b.iter(|| chip.measure(&mut rng))
+    });
+
+    c.bench_function("ro/advance_fabric_20min_dc", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let chip = Chip::commercial_40nm(ChipId::new(1), &mut rng);
+        b.iter_batched(
+            || chip.clone(),
+            |mut chip| {
+                chip.advance(black_box(RoMode::Static), hot, Hours::new(1.0 / 3.0).into());
+                chip.true_cut_delay()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("ro/full_24h_stress_phase", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let chip = Chip::commercial_40nm(ChipId::new(1), &mut rng);
+        b.iter_batched(
+            || chip.clone(),
+            |mut chip| {
+                // 72 sampling steps of 20 minutes, as in the paper.
+                for _ in 0..72 {
+                    chip.advance(RoMode::Static, hot, Hours::new(1.0 / 3.0).into());
+                }
+                chip.true_cut_delay()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_ro);
+criterion_main!(benches);

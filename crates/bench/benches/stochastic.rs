@@ -1,0 +1,50 @@
+//! Criterion bench: the stochastic trapping/detrapping engine — the
+//! "silicon" every measurement derives from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_bti::td::{TrapEnsemble, TrapEnsembleParams};
+use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_units::{Celsius, Hours, Volts};
+
+fn bench_stochastic(c: &mut Criterion) {
+    let params = TrapEnsembleParams::default();
+    let stress = DeviceCondition::dc_stress(Environment::new(Volts::new(1.2), Celsius::new(110.0)));
+    let heal = DeviceCondition::recovery(Environment::new(Volts::new(-0.3), Celsius::new(110.0)));
+
+    c.bench_function("stochastic/sample_device", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| TrapEnsemble::sample(black_box(&params), &mut rng))
+    });
+
+    c.bench_function("stochastic/advance_device_one_step", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let device = TrapEnsemble::sample(&params, &mut rng);
+        b.iter_batched(
+            || device.clone(),
+            |mut d| {
+                d.advance(black_box(stress), Hours::new(24.0).into());
+                d.delta_vth()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("stochastic/stress_recover_cycle", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let device = TrapEnsemble::sample(&params, &mut rng);
+        b.iter_batched(
+            || device.clone(),
+            |mut d| {
+                d.advance(stress, Hours::new(24.0).into());
+                d.advance(heal, Hours::new(6.0).into());
+                d.delta_vth()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_stochastic);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation: sweep the active-vs-sleep ratio α (§5.2.3).
+//!
+//! The paper demonstrates α = 4 (and argues the ratio, not the absolute
+//! time, governs the margin relaxation); this sweep shows what other
+//! ratios would have bought, on both the single stress/heal cycle of the
+//! chamber experiments and the year-long steady state.
+//!
+//! Run with `cargo run -p selfheal-bench --release --bin ablation_alpha`.
+
+use rand::SeedableRng;
+use selfheal::metrics::RecoveryAssessment;
+use selfheal::{RejuvenationTechnique, SchedulePlanner};
+use selfheal_bench::{fmt, Table};
+use selfheal_bti::Environment;
+use selfheal_fpga::{Chip, ChipId, RoMode};
+use selfheal_units::{Celsius, Hours, Ratio, Seconds, Volts};
+
+fn main() {
+    println!("Ablation: the active-vs-sleep ratio alpha\n");
+
+    // Part 1 — single chamber cycle: 24 h stress, then 24/alpha hours of
+    // combined-technique sleep on the same chip population.
+    println!("Single cycle (24 h DC stress @110 degC, sleep = 24 h / alpha):\n");
+    let stress_env = Environment::new(Volts::new(1.2), Celsius::new(110.0));
+    let heal_env = RejuvenationTechnique::Combined.environment();
+
+    let mut single = Table::new(&["alpha", "sleep (h)", "margin relaxed (%)"]);
+    for alpha in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut chip = Chip::commercial_40nm(ChipId::new(1), &mut rng);
+        let fresh = chip.measure(&mut rng).cut_delay;
+        chip.advance(RoMode::Static, stress_env, Hours::new(24.0).into());
+        let aged = chip.measure(&mut rng).cut_delay;
+        chip.advance(RoMode::Sleep, heal_env, Hours::new(24.0 / alpha).into());
+        let healed = chip.measure(&mut rng).cut_delay;
+        let assessment = RecoveryAssessment::new(fresh, aged, healed);
+        single.row(&[
+            &fmt(alpha, 0),
+            &fmt(24.0 / alpha, 1),
+            &fmt(assessment.margin_relaxed().get(), 1),
+        ]);
+    }
+    single.print();
+
+    // Part 2 — steady state: year-long peak shift under a daily rhythm.
+    println!("\nYear-long steady state (24 h period, 90 degC operation):\n");
+    let planner = SchedulePlanner::with_default_models(
+        Environment::new(Volts::new(1.2), Celsius::new(90.0)),
+        1e9, // margin irrelevant here; we only use predicted_peak
+    );
+    let year = Seconds::new(365.0 * 86_400.0);
+    let period: Seconds = Hours::new(24.0).into();
+
+    let mut steady = Table::new(&["alpha", "availability (%)", "peak dVth (mV)"]);
+    for alpha in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let ratio = Ratio::new(alpha).expect("positive");
+        let peak = planner.predicted_peak(ratio, RejuvenationTechnique::Combined, period, year);
+        steady.row(&[
+            &fmt(alpha, 1),
+            &fmt(ratio.active_fraction().get() * 100.0, 1),
+            &fmt(peak.get(), 2),
+        ]);
+    }
+    steady.row(&[
+        "(none)",
+        "100.0",
+        &fmt(planner.unhealed_peak(year).get(), 2),
+    ]);
+    steady.print();
+
+    println!(
+        "\nreading: the single-cycle margin relaxation falls gently with alpha (log-slow\n\
+         recovery), while the steady-state peak shows the big jump is from *any*\n\
+         scheduled deep rejuvenation versus none — the paper's alpha = 4 sits at the\n\
+         knee, trading 20 % availability for most of the achievable relaxation."
+    );
+}

@@ -1,0 +1,75 @@
+//! Fig. 8 — remaining delay shift ΔTd over time during recovery, all four
+//! conditions overlaid with their model curves; the combined
+//! 110 °C/−0.3 V case recovers fastest.
+//!
+//! Run with `cargo run -p selfheal-bench --release --bin fig8`.
+
+use selfheal_bench::{campaign, fmt, sparkline, Table};
+
+const CASES: [&str; 4] = ["AR110N6", "AR110Z6", "AR20N6", "R20Z6"];
+
+fn main() {
+    println!("Fig. 8: Delay change over time during recovery (four conditions + models)\n");
+    let outputs = campaign();
+
+    let mut table = Table::new(&[
+        "t2 (h)",
+        "110C/-0.3V (ns)",
+        "110C/0V (ns)",
+        "20C/-0.3V (ns)",
+        "20C/0V (ns)",
+    ]);
+    let series: Vec<_> = CASES
+        .iter()
+        .map(|name| &outputs.recovery(name).expect("case ran").series)
+        .collect();
+    for i in (0..series[0].len()).step_by(2) {
+        let t = series[0][i].elapsed.to_hours().get();
+        let cells: Vec<String> = series
+            .iter()
+            .map(|s| fmt(s[i].remaining_shift.get(), 3))
+            .collect();
+        table.row(&[
+            &fmt(t, 1),
+            &cells[0],
+            &cells[1],
+            &cells[2],
+            &cells[3],
+        ]);
+    }
+    table.print();
+
+    println!();
+    for name in CASES {
+        let rec = outputs.recovery(name).expect("case ran");
+        let curve: Vec<f64> = rec.series.iter().map(|p| p.remaining_shift.get()).collect();
+        let fit = rec.fit.as_ref().expect("fit");
+        println!(
+            "{name:9} shape: {}   (model RMSE {} ns)",
+            sparkline(&curve),
+            fmt(fit.rmse_ns, 3)
+        );
+    }
+
+    // Final remaining shifts must be ordered: combined < single-knob < passive.
+    let remaining = |name: &str| {
+        outputs
+            .recovery(name)
+            .and_then(|r| r.series.last())
+            .map(|p| p.remaining_shift.get())
+            .unwrap_or(f64::NAN)
+    };
+    println!("\n--- shape check (paper) ---");
+    let combined = remaining("AR110N6");
+    let passive = remaining("R20Z6");
+    println!(
+        "final remaining shift: combined {} ns < passive {} ns : {}",
+        fmt(combined, 3),
+        fmt(passive, 3),
+        if combined < passive { "yes" } else { "NO" }
+    );
+    println!(
+        "\npaper: \"High temperature (110 degC), combining with negative voltage (-0.3 V)\n\
+         achieves the highest recovery rate\"; test results match the modeling results."
+    );
+}

@@ -1,0 +1,62 @@
+//! The §4.2 die survey: "To pick this frequency, CUT is placed at
+//! different locations on the FPGA, and a diagnostic program is run."
+//!
+//! Run with `cargo run -p selfheal-bench --release --bin location_survey`.
+
+use rand::SeedableRng;
+use selfheal_bench::{fmt, Table};
+use selfheal_bti::Environment;
+use selfheal_fpga::fabric::CutArray;
+use selfheal_fpga::{Family, RoMode};
+use selfheal_units::{Celsius, Hours, Millivolts, Volts};
+
+fn main() {
+    println!("Die survey: CUT delay across a 4 x 3 placement grid\n");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2014);
+    let mut array = CutArray::sample(
+        &Family::commercial_40nm(),
+        Millivolts::new(0.0),
+        4,
+        3,
+        &mut rng,
+    );
+
+    let snapshot = |array: &CutArray, rng: &mut rand::rngs::StdRng| -> Vec<(String, f64)> {
+        array
+            .locations()
+            .map(|l| {
+                (
+                    l.to_string(),
+                    array.measure_at(l, rng).expect("on-grid").get(),
+                )
+            })
+            .collect()
+    };
+
+    let fresh = snapshot(&array, &mut rng);
+    println!("fresh survey (ns), spread {}:\n", array.fresh_delay_spread());
+    let mut table = Table::new(&["site", "fresh (ns)", "aged (ns)", "shift (ns)"]);
+
+    // Stress the whole fabric a day, then survey again.
+    array.advance(
+        RoMode::Static,
+        Environment::new(Volts::new(1.2), Celsius::new(110.0)),
+        Hours::new(24.0).into(),
+    );
+    let aged = snapshot(&array, &mut rng);
+
+    for ((site, f), (_, a)) in fresh.iter().zip(&aged) {
+        table.row(&[site, &fmt(*f, 3), &fmt(*a, 3), &fmt(a - f, 3)]);
+    }
+    table.print();
+
+    let (slowest, delay) = array.slowest_site();
+    println!(
+        "\nslowest site after stress: {slowest} at {delay} — the survey's pick for a\n\
+         worst-case CUT. Within-die spread comes from a systematic Vth gradient plus\n\
+         local mismatch; every site ages by a comparable shift (same schedule), so the\n\
+         relative ranking is stable — which is why the paper can measure one location\n\
+         per chip and still compare chips through the Recovered Delay metric."
+    );
+}

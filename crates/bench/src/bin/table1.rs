@@ -1,0 +1,31 @@
+//! Table 1 — the test-case matrix (input to every other artefact).
+//!
+//! Run with `cargo run -p selfheal-bench --release --bin table1`.
+
+use selfheal_bench::{fmt, Table};
+use selfheal_testbench::cases;
+
+fn main() {
+    println!("Table 1: Test cases for Accelerated Wearout and Self-Healing\n");
+    let mut table = Table::new(&[
+        "Phase", "Case", "Chip", "T (degC)", "V (V)", "Time (h)", "Activity", "Active/Sleep",
+    ]);
+    for case in cases::table1() {
+        let (phase, activity, alpha) = match case.kind {
+            cases::PhaseKind::Stress { activity } => ("Active (Stress)", activity.code(), "-"),
+            cases::PhaseKind::Recovery { .. } => ("Sleep (Recovery)", "-", "4"),
+        };
+        table.row(&[
+            phase,
+            case.name,
+            &case.chip.get().to_string(),
+            &fmt(case.temperature.get(), 0),
+            &fmt(case.supply.get(), 1),
+            &fmt(case.duration.get(), 0),
+            activity,
+            alpha,
+        ]);
+    }
+    table.print();
+    println!("\nBaseline: all chips stressed at 20 degC / 1.2 V for 2 h initially (burn-in).");
+}

@@ -1,0 +1,36 @@
+//! Table 2 — delay change (%) for the different temperature conditions.
+//!
+//! Run with `cargo run -p selfheal-bench --release --bin table2`.
+
+use selfheal_bench::{campaign, fmt, Table};
+
+fn main() {
+    println!("Table 2: Delay change (%) under different stress conditions (24 h)\n");
+    let outputs = campaign();
+
+    let mut table = Table::new(&[
+        "Case", "Chip", "T (degC)", "Activity", "Delay change (%)", "Freq. degradation (%)",
+    ]);
+    for stress in &outputs.stresses {
+        let delay_change_percent =
+            100.0 * stress.total_shift().get() / stress.start_delay.get();
+        let activity = match stress.case.kind {
+            selfheal_testbench::PhaseKind::Stress { activity } => activity.code(),
+            selfheal_testbench::PhaseKind::Recovery { .. } => "-",
+        };
+        table.row(&[
+            stress.case.name,
+            &stress.case.chip.get().to_string(),
+            &fmt(stress.case.temperature.get(), 0),
+            activity,
+            &fmt(delay_change_percent, 3),
+            &fmt(stress.total_degradation().get(), 3),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\npaper shape: 110 degC DC > 100 degC DC > 110 degC AC; the 48 h case adds only\n\
+         a little over the 24 h case (log-time wearout)."
+    );
+}

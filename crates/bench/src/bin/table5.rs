@@ -1,0 +1,47 @@
+//! Table 5 — the α = 4 ratio generalises: AR110N6 (24 h / 6 h) and
+//! AR110N12 (48 h re-stress / 12 h) reach the same margin relaxation.
+//!
+//! Run with `cargo run -p selfheal-bench --release --bin table5`.
+
+use selfheal_bench::{campaign, fmt, paper, Table};
+
+fn main() {
+    println!("Table 5: Same ratio (alpha = 4), different stress conditions\n");
+    let outputs = campaign();
+
+    let mut table = Table::new(&[
+        "Case",
+        "Cumulative stress (h)",
+        "Sleep (h)",
+        "alpha",
+        "Inflicted (ns)",
+        "Recovered (ns)",
+        "Margin relaxed (%)",
+    ]);
+    for name in ["AR110N6", "AR110N12"] {
+        let rec = outputs.recovery(name).expect("case ran");
+        table.row(&[
+            name,
+            &fmt(rec.stress_duration.to_hours().get(), 0),
+            &fmt(rec.case.duration.get(), 0),
+            &fmt(paper::ALPHA, 0),
+            &fmt(rec.assessment.inflicted.get(), 3),
+            &fmt(rec.assessment.recovered.get(), 3),
+            &fmt(rec.margin_relaxed().get(), 1),
+        ]);
+    }
+    table.print();
+
+    let short = outputs.recovery("AR110N6").unwrap().margin_relaxed().get();
+    let long = outputs.recovery("AR110N12").unwrap().margin_relaxed().get();
+    println!(
+        "\ndifference: {} percentage points (paper: \"in both cases, the same design\n\
+         margin relaxed parameter can be achieved\")",
+        fmt((short - long).abs(), 1)
+    );
+    println!(
+        "\nNote the 48 h re-stress inflicts *less* fresh shift than the first 24 h did\n\
+         (log-time wearout on an already-aged chip), yet the alpha = 4 sleep still\n\
+         relaxes the same fraction of it — the ratio, not the absolute time, governs."
+    );
+}

@@ -1,0 +1,186 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artefact of the paper's
+//! evaluation section (`fig4` … `fig10`, `table1` … `table5`) and prints
+//! paper-reported reference values next to the reproduction's measured
+//! ones. `all_experiments` runs the lot and emits the markdown consumed by
+//! the repository's `EXPERIMENTS.md`.
+//!
+//! Absolute agreement is not the goal (the substrate is a simulator, not
+//! the authors' chamber + chips); the *shapes* are: who wins, by what
+//! rough factor, and where the curves bend.
+
+use std::fmt::Write as _;
+
+use selfheal::experiment::{ExperimentOutputs, PaperExperiment};
+
+/// The seed all figure binaries share, so every artefact is drawn from
+/// the same simulated chip population.
+pub const CAMPAIGN_SEED: u64 = 2014;
+
+/// Runs the full Table 1 campaign at the paper's sampling cadence.
+#[must_use]
+pub fn campaign() -> ExperimentOutputs {
+    PaperExperiment::paper_cadence(CAMPAIGN_SEED).run()
+}
+
+/// Paper-reported reference values, quoted from the text and read off the
+/// figures, used in the side-by-side comparisons.
+pub mod paper {
+    /// Best-case design-margin-relaxed parameter (§5.2.2, Table 4).
+    pub const AR110N6_MARGIN_RELAXED_PERCENT: f64 = 72.4;
+    /// "AC stress ... results in smaller frequency degradation, which is
+    /// about half of that in the DC stress case" (§5.1.1).
+    pub const AC_OVER_DC_RATIO: f64 = 0.5;
+    /// Fig. 5's 24 h DC degradation at 110 °C, read off the plot (%).
+    pub const DC110_DEGRADATION_PERCENT: f64 = 2.3;
+    /// Fig. 5's 24 h DC degradation at 100 °C, read off the plot (%).
+    pub const DC100_DEGRADATION_PERCENT: f64 = 1.9;
+    /// "we can bring the stressed chips back to within 90 % of their
+    /// original margin" (abstract, §5.2.2) — margin-available threshold.
+    pub const MARGIN_AVAILABLE_THRESHOLD: f64 = 0.90;
+    /// The active-vs-sleep ratio of every recovery case (§5.2.3).
+    pub const ALPHA: f64 = 4.0;
+}
+
+/// A minimal fixed-width table printer for terminal reports.
+///
+/// # Examples
+///
+/// ```
+/// use selfheal_bench::Table;
+///
+/// let mut t = Table::new(&["case", "paper", "measured"]);
+/// t.row(&["AR110N6", "72.4 %", "73.1 %"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("AR110N6"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells render empty, extras are dropped).
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let pad = width.saturating_sub(cell.chars().count());
+                let _ = write!(out, "| {cell}{} ", " ".repeat(pad));
+            }
+            out.push_str("|\n");
+        };
+        line(&self.headers, &mut out);
+        for (i, width) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(width + 2));
+            if i == self.headers.len() - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with the given precision — tiny helper to keep the
+/// binaries tidy.
+#[must_use]
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Renders an inline ASCII sparkline of a series (for eyeballing curve
+/// shapes in the terminal without a plotting stack).
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["case", "value"]);
+        t.row(&["AR110N6", "72.4"]).row(&["R20Z6", "33"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('|') && l.ends_with('|')));
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]).row(&["1", "2", "3", "4"]);
+        let s = t.render();
+        assert!(s.contains("| 1 |"));
+        assert!(!s.contains('4'), "extra cells are dropped");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        let first = s.chars().next().unwrap();
+        let last = s.chars().next_back().unwrap();
+        assert!(last > first, "rising series rises");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(72.44449, 1), "72.4");
+        assert_eq!(fmt(0.5, 3), "0.500");
+    }
+}

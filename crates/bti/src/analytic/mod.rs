@@ -1,0 +1,24 @@
+//! The paper's first-order closed-form BTI model (Eqs. 1–4, 12–13).
+//!
+//! Three layers:
+//!
+//! * [`StressModel`] — Eq. (1)/(2): `ΔVth(t) = A·φs(V,T)·log(1 + Cs·t)`.
+//! * [`RecoveryModel`] — Eq. (3)/(4): log-saturating *partial* recovery,
+//!   accelerated by temperature and negative voltage through `φr`.
+//! * [`CycleModel`] / [`AnalyticBti`] — Eq. (12)/(13): duty-cycled
+//!   stress/sleep operation parameterised by the active-vs-sleep ratio α,
+//!   with state carried across cycles (the Fig. 1 sawtooth and the Fig. 9
+//!   long-run behaviour).
+//!
+//! The stochastic engine in [`crate::td`] plays the role of silicon; this
+//! module plays the role of the model the paper fits to it. The default
+//! parameters here are the "paper priors"; `selfheal::fitting` re-extracts
+//! them from simulated measurements exactly as the paper's Table 3 does.
+
+mod cycle;
+mod recovery;
+mod stress;
+
+pub use cycle::{AnalyticBti, CycleModel, CycleSample};
+pub use recovery::RecoveryModel;
+pub use stress::StressModel;

@@ -1,0 +1,52 @@
+//! Model extraction from measurement series (the paper's Table 3).
+//!
+//! The paper fits its first-order forms to chamber measurements:
+//! Eq. (10) `ΔTd(t) = β·log(1 + C·t)` for wearout, and the Eq. (11)
+//! recovery kernel for healing. "β, A and C are fitting parameters and
+//! can be extracted from measurement results" — this module is that
+//! extraction, applied to the simulated chips' series instead of silicon.
+//!
+//! The fits are deliberately simple and robust: a coarse log-spaced grid
+//! over the nonlinear parameters with the linear amplitude solved in
+//! closed form at each grid point, followed by local refinement. With a
+//! dozen samples per phase (the paper's cadence), anything fancier is
+//! numerology.
+
+mod recovery;
+mod stress;
+
+pub use recovery::FittedRecoveryCurve;
+pub use stress::FittedStressCurve;
+
+/// Root-mean-square error between a model and samples.
+///
+/// Returns 0 for an empty sample set.
+#[must_use]
+pub fn rmse(residuals: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for r in residuals {
+        sum += r * r;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_empty_is_zero() {
+        assert_eq!(rmse(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_residuals() {
+        assert!((rmse([2.0, -2.0, 2.0, -2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Design-margin budgeting and lifetime arithmetic.
+//!
+//! "Without proactive accelerated rejuvenation, electronic systems need to
+//! be designed to cope with aging over the lifetime of the product ...
+//! This means increased design margins" (§2.2). This module makes that
+//! budget concrete: a guardband as a fraction of fresh delay, how much of
+//! it stress has consumed, and how long a chip can run before the budget
+//! is exhausted under a given model.
+
+use serde::{Deserialize, Serialize};
+use selfheal_bti::analytic::StressModel;
+use selfheal_bti::Environment;
+use selfheal_units::{Fraction, Millivolts, Nanoseconds, Seconds};
+
+/// A timing guardband budget.
+///
+/// # Examples
+///
+/// ```
+/// use selfheal::MarginBudget;
+/// use selfheal_units::Nanoseconds;
+///
+/// let budget = MarginBudget::typical();
+/// let fresh = Nanoseconds::new(90.0);
+/// // A 2.3 ns shift consumes about a quarter of a 10 % guardband.
+/// let available = budget.available_fraction(fresh, Nanoseconds::new(92.3));
+/// assert!(available.get() > 0.7 && available.get() < 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarginBudget {
+    guardband: Fraction,
+}
+
+impl MarginBudget {
+    /// Creates a budget with the given guardband fraction of fresh delay.
+    #[must_use]
+    pub fn new(guardband: Fraction) -> Self {
+        MarginBudget { guardband }
+    }
+
+    /// The 10 % timing guardband typical of aging-margined designs; used
+    /// as the denominator for the paper's "within 90 % of original margin"
+    /// headline.
+    #[must_use]
+    pub fn typical() -> Self {
+        MarginBudget::new(Fraction::new(0.10))
+    }
+
+    /// The guardband fraction.
+    #[must_use]
+    pub fn guardband(&self) -> Fraction {
+        self.guardband
+    }
+
+    /// The absolute margin a chip with `fresh` delay is budgeted.
+    #[must_use]
+    pub fn margin(&self, fresh: Nanoseconds) -> Nanoseconds {
+        fresh * self.guardband.get()
+    }
+
+    /// Fraction of the margin consumed by the current delay shift
+    /// (clamped to `[0, 1]`; a shift beyond the budget means timing
+    /// failure and reads as fully consumed).
+    #[must_use]
+    pub fn consumed_fraction(&self, fresh: Nanoseconds, current: Nanoseconds) -> Fraction {
+        let margin = self.margin(fresh).get();
+        if margin <= 0.0 {
+            return Fraction::ONE;
+        }
+        Fraction::new((current - fresh).get().max(0.0) / margin)
+    }
+
+    /// Fraction of the margin still available.
+    #[must_use]
+    pub fn available_fraction(&self, fresh: Nanoseconds, current: Nanoseconds) -> Fraction {
+        self.consumed_fraction(fresh, current).complement()
+    }
+
+    /// The paper's headline predicate: is the chip back "within 90 % of
+    /// its original margin"?
+    #[must_use]
+    pub fn within_90_percent(&self, fresh: Nanoseconds, current: Nanoseconds) -> bool {
+        self.available_fraction(fresh, current).get() >= 0.90
+    }
+}
+
+impl Default for MarginBudget {
+    fn default() -> Self {
+        MarginBudget::typical()
+    }
+}
+
+/// Estimated time until a continuously-stressed path exhausts a margin
+/// budget, under the first-order stress model.
+///
+/// Inverts `ΔTd(t) = margin`: with `ΔTd = β·ΔVth` and the Eq. (1) form
+/// this is the `exp`-inverse of the log law. `beta_ns_per_mv` converts the
+/// model's millivolt shift to path nanoseconds (the `β` of Eq. 10, as
+/// extracted by [`crate::fitting`]).
+///
+/// Returns `None` when the margin can never be exhausted (zero or negative
+/// sensitivity).
+#[must_use]
+pub fn time_to_margin_exhaustion(
+    model: &StressModel,
+    env: Environment,
+    beta_ns_per_mv: f64,
+    margin: Nanoseconds,
+) -> Option<Seconds> {
+    if beta_ns_per_mv <= 0.0 || margin.get() <= 0.0 {
+        return None;
+    }
+    let target_mv = Millivolts::new(margin.get() / beta_ns_per_mv);
+    let t = model.equivalent_stress_time(target_mv, env);
+    (t.get() > 0.0).then_some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_units::{Celsius, Volts};
+
+    #[test]
+    fn margin_of_90ns_at_10_percent() {
+        let b = MarginBudget::typical();
+        assert!((b.margin(Nanoseconds::new(90.0)).get() - 9.0).abs() < 1e-12);
+        assert!((b.guardband().get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consumed_and_available_are_complements() {
+        let b = MarginBudget::typical();
+        let fresh = Nanoseconds::new(90.0);
+        let current = Nanoseconds::new(92.3);
+        let c = b.consumed_fraction(fresh, current).get();
+        let a = b.available_fraction(fresh, current).get();
+        assert!((c + a - 1.0).abs() < 1e-12);
+        assert!((c - 2.3 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_90_percent_predicate() {
+        let b = MarginBudget::typical();
+        let fresh = Nanoseconds::new(90.0);
+        assert!(b.within_90_percent(fresh, Nanoseconds::new(90.6)));
+        assert!(!b.within_90_percent(fresh, Nanoseconds::new(92.3)));
+        // Healing AR110N6-style (72 % of 2.3 ns healed) gets back inside.
+        assert!(b.within_90_percent(fresh, Nanoseconds::new(90.0 + 2.3 * 0.28)));
+    }
+
+    #[test]
+    fn overconsumed_margin_clamps() {
+        let b = MarginBudget::typical();
+        let fresh = Nanoseconds::new(90.0);
+        let blown = Nanoseconds::new(110.0);
+        assert_eq!(b.consumed_fraction(fresh, blown).get(), 1.0);
+        assert_eq!(b.available_fraction(fresh, blown).get(), 0.0);
+    }
+
+    #[test]
+    fn improvement_below_fresh_is_not_negative_consumption() {
+        let b = MarginBudget::typical();
+        let fresh = Nanoseconds::new(90.0);
+        assert_eq!(b.consumed_fraction(fresh, Nanoseconds::new(89.0)).get(), 0.0);
+    }
+
+    #[test]
+    fn exhaustion_time_grows_exponentially_with_margin() {
+        let model = StressModel::default();
+        let env = Environment::new(Volts::new(1.2), Celsius::new(110.0));
+        let beta = 0.06; // ns of path shift per mV of device shift
+        let t_small =
+            time_to_margin_exhaustion(&model, env, beta, Nanoseconds::new(2.0)).unwrap();
+        let t_big = time_to_margin_exhaustion(&model, env, beta, Nanoseconds::new(4.0)).unwrap();
+        assert!(t_big > t_small * 2.0, "log-law inversion is super-linear");
+    }
+
+    #[test]
+    fn exhaustion_time_rejects_degenerate_inputs() {
+        let model = StressModel::default();
+        let env = Environment::new(Volts::new(1.2), Celsius::new(110.0));
+        assert!(time_to_margin_exhaustion(&model, env, 0.0, Nanoseconds::new(2.0)).is_none());
+        assert!(time_to_margin_exhaustion(&model, env, 0.06, Nanoseconds::ZERO).is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! Circadian schedule planning — the paper's §7 outlook made executable:
+//! "Since the time before the next scheduled deep rejuvenation is known in
+//! advance, there is a good opportunity for ... cross-layer optimization."
+//!
+//! Given the operating condition, a wear budget and a rejuvenation
+//! technique, the planner finds the **smallest sleep share** (largest α)
+//! whose steady-state peak shift stays inside the budget — i.e. how little
+//! throughput must be sacrificed to hold a given margin, or conversely how
+//! much margin a given rhythm buys back.
+
+use serde::{Deserialize, Serialize};
+use selfheal_bti::analytic::{AnalyticBti, CycleModel, RecoveryModel, StressModel};
+use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_units::{Fraction, Millivolts, Ratio, Seconds};
+
+use crate::technique::RejuvenationTechnique;
+
+/// A planned circadian rhythm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RejuvenationPlan {
+    /// The chosen active-vs-sleep ratio.
+    pub alpha: Ratio,
+    /// The sleep treatment the plan assumes.
+    pub technique: RejuvenationTechnique,
+    /// The full day/night period.
+    pub period: Seconds,
+    /// Predicted worst shift over the horizon under this plan.
+    pub predicted_peak: Millivolts,
+}
+
+impl RejuvenationPlan {
+    /// Fraction of time the plan spends doing useful work.
+    #[must_use]
+    pub fn availability(&self) -> Fraction {
+        self.alpha.active_fraction()
+    }
+}
+
+/// The planner: first-order models plus the operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePlanner {
+    stress: StressModel,
+    recovery: RecoveryModel,
+    active_env: Environment,
+    margin_mv: f64,
+}
+
+impl SchedulePlanner {
+    /// Creates a planner for a circuit operating at `active_env` with a
+    /// total threshold-shift budget of `margin_mv`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive margin.
+    #[must_use]
+    pub fn new(
+        stress: StressModel,
+        recovery: RecoveryModel,
+        active_env: Environment,
+        margin_mv: f64,
+    ) -> Self {
+        assert!(margin_mv > 0.0, "margin must be positive");
+        SchedulePlanner {
+            stress,
+            recovery,
+            active_env,
+            margin_mv,
+        }
+    }
+
+    /// A planner with the default calibrated models.
+    #[must_use]
+    pub fn with_default_models(active_env: Environment, margin_mv: f64) -> Self {
+        SchedulePlanner::new(
+            StressModel::default(),
+            RecoveryModel::default(),
+            active_env,
+            margin_mv,
+        )
+    }
+
+    /// Peak shift over `horizon` when running a rhythm with ratio `alpha`
+    /// and the given technique.
+    #[must_use]
+    pub fn predicted_peak(
+        &self,
+        alpha: Ratio,
+        technique: RejuvenationTechnique,
+        period: Seconds,
+        horizon: Seconds,
+    ) -> Millivolts {
+        let cycles = (horizon.get() / period.get()).ceil().max(1.0) as usize;
+        let model = CycleModel {
+            alpha,
+            period,
+            active: DeviceCondition::dc_stress(self.active_env),
+            sleep: DeviceCondition::recovery(technique.environment()),
+        };
+        let peak = model
+            .run_from(AnalyticBti::new(self.stress, self.recovery), cycles)
+            .into_iter()
+            .map(|s| s.delta_vth.get())
+            .fold(0.0, f64::max);
+        Millivolts::new(peak)
+    }
+
+    /// Whether running with **no** rejuvenation at all stays within the
+    /// budget over the horizon (if so, no plan is needed).
+    #[must_use]
+    pub fn unhealed_peak(&self, horizon: Seconds) -> Millivolts {
+        let mut device = AnalyticBti::new(self.stress, self.recovery);
+        device.advance(DeviceCondition::dc_stress(self.active_env), horizon);
+        device.delta_vth()
+    }
+
+    /// Finds the largest α (least sleep) whose predicted peak stays inside
+    /// the margin over `horizon`, searching α ∈ [0.5, 64] by bisection on
+    /// the sleep fraction.
+    ///
+    /// Returns `None` when even the most generous rhythm tried (α = 0.5,
+    /// i.e. sleeping twice as long as working) cannot hold the budget —
+    /// the designer must then add margin or derate the operating point.
+    #[must_use]
+    pub fn plan(
+        &self,
+        technique: RejuvenationTechnique,
+        period: Seconds,
+        horizon: Seconds,
+    ) -> Option<RejuvenationPlan> {
+        let fits = |alpha: Ratio| {
+            self.predicted_peak(alpha, technique, period, horizon).get() <= self.margin_mv
+        };
+
+        let alpha_min = Ratio::new(0.5).expect("static ratio");
+        let alpha_max = Ratio::new(64.0).expect("static ratio");
+        if !fits(alpha_min) {
+            return None;
+        }
+        if fits(alpha_max) {
+            return Some(self.plan_for(alpha_max, technique, period, horizon));
+        }
+
+        // Bisect on the sleep fraction s = 1/(1+α): monotone in wear.
+        let mut s_lo = alpha_max.sleep_fraction().get(); // too little sleep
+        let mut s_hi = alpha_min.sleep_fraction().get(); // enough sleep
+        for _ in 0..40 {
+            let s_mid = 0.5 * (s_lo + s_hi);
+            let alpha = Ratio::new(1.0 / s_mid - 1.0).expect("s in (0,1)");
+            if fits(alpha) {
+                s_hi = s_mid;
+            } else {
+                s_lo = s_mid;
+            }
+        }
+        let alpha = Ratio::new(1.0 / s_hi - 1.0).expect("s in (0,1)");
+        Some(self.plan_for(alpha, technique, period, horizon))
+    }
+
+    fn plan_for(
+        &self,
+        alpha: Ratio,
+        technique: RejuvenationTechnique,
+        period: Seconds,
+        horizon: Seconds,
+    ) -> RejuvenationPlan {
+        RejuvenationPlan {
+            alpha,
+            technique,
+            period,
+            predicted_peak: self.predicted_peak(alpha, technique, period, horizon),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_units::{Celsius, Hours, Volts};
+
+    fn planner(margin: f64) -> SchedulePlanner {
+        SchedulePlanner::with_default_models(
+            Environment::new(Volts::new(1.2), Celsius::new(90.0)),
+            margin,
+        )
+    }
+
+    fn year() -> Seconds {
+        Seconds::new(365.0 * 86_400.0)
+    }
+
+    fn day_period() -> Seconds {
+        Hours::new(24.0).into()
+    }
+
+    #[test]
+    fn plan_meets_its_own_budget() {
+        let p = planner(24.0);
+        let plan = p
+            .plan(RejuvenationTechnique::Combined, day_period(), year())
+            .expect("a combined-technique rhythm can hold 24 mV");
+        assert!(plan.predicted_peak.get() <= 24.0 + 1e-6);
+        assert!(plan.alpha.get() >= 0.5);
+    }
+
+    #[test]
+    fn tighter_budget_needs_more_sleep() {
+        let loose = planner(24.8)
+            .plan(RejuvenationTechnique::Combined, day_period(), year())
+            .unwrap();
+        let tight = planner(22.0)
+            .plan(RejuvenationTechnique::Combined, day_period(), year())
+            .unwrap();
+        assert!(
+            tight.alpha.get() < loose.alpha.get(),
+            "tight budget α {} < loose budget α {}",
+            tight.alpha.get(),
+            loose.alpha.get()
+        );
+        assert!(tight.availability().get() < loose.availability().get());
+    }
+
+    #[test]
+    fn better_technique_buys_availability() {
+        let margin = 24.0;
+        let combined = planner(margin)
+            .plan(RejuvenationTechnique::Combined, day_period(), year())
+            .expect("combined holds it");
+        if let Some(passive) =
+            planner(margin).plan(RejuvenationTechnique::PassiveGating, day_period(), year())
+        {
+            assert!(
+                combined.alpha.get() >= passive.alpha.get(),
+                "deep rejuvenation needs no more sleep than passive gating"
+            );
+        }
+        // Either passive can't hold the budget at all, or it needs ≥ sleep.
+    }
+
+    #[test]
+    fn impossible_budgets_return_none() {
+        // Even sleeping twice as long as working cannot hold 15 mV at
+        // this operating point; and the permanent component alone blows a
+        // sub-millivolt budget.
+        for margin in [15.0, 0.5] {
+            let p = planner(margin);
+            assert!(p
+                .plan(RejuvenationTechnique::Combined, day_period(), year())
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn generous_budget_needs_no_sleep_to_speak_of() {
+        let p = planner(500.0);
+        let plan = p
+            .plan(RejuvenationTechnique::Combined, day_period(), year())
+            .unwrap();
+        assert!(plan.alpha.get() >= 60.0, "α = {}", plan.alpha.get());
+        assert!(plan.availability().get() > 0.97);
+    }
+
+    #[test]
+    fn unhealed_peak_exceeds_any_planned_peak() {
+        let p = planner(24.0);
+        let plan = p
+            .plan(RejuvenationTechnique::Combined, day_period(), year())
+            .unwrap();
+        assert!(p.unhealed_peak(year()).get() > plan.predicted_peak.get());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be positive")]
+    fn rejects_nonpositive_margin() {
+        let _ = planner(0.0);
+    }
+}

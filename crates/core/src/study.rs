@@ -1,0 +1,191 @@
+//! Monte-Carlo variation study — quantifying the gap the paper
+//! acknowledges in §7: "the effects of chip to chip variations on aging
+//! are also ignored for now".
+//!
+//! The paper ran five physical chips once; the simulator can run as many
+//! chip populations as patience allows and report the spread of every
+//! headline metric across process corners, trap-population draws, chamber
+//! wobble and counter noise.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::PaperExperiment;
+
+/// Summary statistics of one metric across campaign repetitions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl MetricStats {
+    /// Computes stats from samples.
+    ///
+    /// Returns `None` for an empty sample set.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Some(MetricStats {
+            mean,
+            std_dev: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::MAX, f64::min),
+            max: samples.iter().cloned().fold(f64::MIN, f64::max),
+        })
+    }
+
+    /// Whether `value` lies within `k` standard deviations of the mean.
+    #[must_use]
+    pub fn contains_within_sigma(&self, value: f64, k: f64) -> bool {
+        (value - self.mean).abs() <= k * self.std_dev.max(1e-12)
+    }
+}
+
+/// Results of repeating the Table 1 campaign across chip populations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationStudyOutcome {
+    /// Number of campaign repetitions.
+    pub runs: usize,
+    /// Margin-relaxed (%) stats for each recovery case, in Table 1 order.
+    pub margin_relaxed: Vec<(String, MetricStats)>,
+    /// 24 h DC @110 °C frequency degradation (%) stats.
+    pub dc110_degradation: MetricStats,
+    /// AC/DC final degradation ratio stats.
+    pub ac_over_dc: MetricStats,
+}
+
+/// The study runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationStudy {
+    /// Number of independent chip populations to simulate.
+    pub runs: usize,
+    /// Seed of the first population (subsequent runs increment it).
+    pub base_seed: u64,
+}
+
+impl VariationStudy {
+    /// Runs the study at the quick sampling cadence (the spread of the
+    /// end-point metrics does not need dense curves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn run(&self) -> VariationStudyOutcome {
+        assert!(self.runs > 0, "need at least one run");
+        let recovery_names = ["R20Z6", "AR20N6", "AR110Z6", "AR110N6", "AR110N12"];
+        let mut relaxed: Vec<Vec<f64>> = vec![Vec::new(); recovery_names.len()];
+        let mut dc110 = Vec::new();
+        let mut ratio = Vec::new();
+
+        for i in 0..self.runs {
+            let outputs =
+                PaperExperiment::quick(self.base_seed.wrapping_add(i as u64 * 7919)).run();
+            for (slot, name) in relaxed.iter_mut().zip(recovery_names) {
+                slot.push(outputs.recovery(name).expect("case ran").margin_relaxed().get());
+            }
+            let dcs: Vec<f64> = outputs
+                .stresses
+                .iter()
+                .filter(|s| s.case.name == "AS110DC24")
+                .map(|s| s.total_degradation().get())
+                .collect();
+            let dc_mean = dcs.iter().sum::<f64>() / dcs.len() as f64;
+            dc110.push(dc_mean);
+            let ac = outputs
+                .stress("AS110AC24")
+                .expect("AC case ran")
+                .total_degradation()
+                .get();
+            ratio.push(ac / dc_mean);
+        }
+
+        VariationStudyOutcome {
+            runs: self.runs,
+            margin_relaxed: recovery_names
+                .iter()
+                .zip(relaxed)
+                .map(|(name, samples)| {
+                    (
+                        (*name).to_string(),
+                        MetricStats::from_samples(&samples).expect("runs > 0"),
+                    )
+                })
+                .collect(),
+            dc110_degradation: MetricStats::from_samples(&dc110).expect("runs > 0"),
+            ac_over_dc: MetricStats::from_samples(&ratio).expect("runs > 0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_stats_basics() {
+        let s = MetricStats::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std_dev - 1.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(s.contains_within_sigma(2.5, 1.0));
+        assert!(!s.contains_within_sigma(5.0, 1.0));
+    }
+
+    #[test]
+    fn metric_stats_degenerate_inputs() {
+        assert!(MetricStats::from_samples(&[]).is_none());
+        let single = MetricStats::from_samples(&[4.2]).unwrap();
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.min, single.max);
+    }
+
+    #[test]
+    fn small_study_brackets_the_paper_headline() {
+        // Three populations are enough to check the 72.4 % headline sits
+        // inside the simulated chip-to-chip spread.
+        let outcome = VariationStudy {
+            runs: 3,
+            base_seed: 2014,
+        }
+        .run();
+        assert_eq!(outcome.runs, 3);
+        let (name, headline) = outcome
+            .margin_relaxed
+            .iter()
+            .find(|(n, _)| n == "AR110N6")
+            .unwrap();
+        assert_eq!(name, "AR110N6");
+        assert!(
+            headline.min < 85.0 && headline.max > 60.0,
+            "spread {headline:?} should straddle the plausible range"
+        );
+        assert!(outcome.dc110_degradation.mean > 1.0 && outcome.dc110_degradation.mean < 4.0);
+        assert!(outcome.ac_over_dc.mean > 0.3 && outcome.ac_over_dc.mean < 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn rejects_zero_runs() {
+        let _ = VariationStudy {
+            runs: 0,
+            base_seed: 1,
+        }
+        .run();
+    }
+}

@@ -1,0 +1,324 @@
+//! Multi-location CUT placement across the die.
+//!
+//! §4.2: "CUT is placed at different locations on the FPGA, and a
+//! diagnostic program is run" — the authors survey the die before picking
+//! a location. This module provides that survey: an array of ring
+//! oscillators placed on a grid, sharing the chip's process corner but
+//! carrying a systematic within-die gradient plus local variation, all
+//! read through one counter.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use selfheal_bti::Environment;
+use selfheal_units::{Millivolts, Nanoseconds, Seconds};
+
+use crate::counter::FrequencyCounter;
+use crate::family::Family;
+use crate::ring_oscillator::{RingOscillator, RoMode};
+
+/// A CUT site on the die grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DieLocation {
+    /// Column index.
+    pub column: u8,
+    /// Row index.
+    pub row: u8,
+}
+
+impl std::fmt::Display for DieLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.column, self.row)
+    }
+}
+
+/// Within-die systematic variation: a linear threshold gradient across
+/// the die, on top of the chip corner and local mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DieGradient {
+    /// Systematic Vth slope per column, mV.
+    pub mv_per_column: f64,
+    /// Systematic Vth slope per row, mV.
+    pub mv_per_row: f64,
+}
+
+impl Default for DieGradient {
+    /// A mild 1.5 mV/site gradient, typical of lithographic/strain
+    /// systematics at 40 nm.
+    fn default() -> Self {
+        DieGradient {
+            mv_per_column: 1.5,
+            mv_per_row: 1.0,
+        }
+    }
+}
+
+impl DieGradient {
+    /// The systematic offset at a location.
+    #[must_use]
+    pub fn offset_at(&self, location: DieLocation) -> Millivolts {
+        Millivolts::new(
+            self.mv_per_column * f64::from(location.column)
+                + self.mv_per_row * f64::from(location.row),
+        )
+    }
+}
+
+/// An array of CUT ring oscillators across the die.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use selfheal_fpga::fabric::CutArray;
+/// use selfheal_fpga::Family;
+/// use selfheal_units::Millivolts;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let array = CutArray::sample(
+///     &Family::commercial_40nm(),
+///     Millivolts::new(0.0),
+///     3, 2,
+///     &mut rng,
+/// );
+/// assert_eq!(array.len(), 6);
+/// let spread = array.fresh_delay_spread();
+/// assert!(spread.get() > 0.0, "locations differ: {spread}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CutArray {
+    cuts: Vec<(DieLocation, RingOscillator)>,
+    gradient: DieGradient,
+    counter: FrequencyCounter,
+    vdd: selfheal_units::Volts,
+}
+
+impl CutArray {
+    /// Samples a `columns × rows` survey array on the given chip corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(
+        family: &Family,
+        corner_offset: Millivolts,
+        columns: u8,
+        rows: u8,
+        rng: &mut R,
+    ) -> Self {
+        assert!(columns > 0 && rows > 0, "survey grid must be non-empty");
+        let gradient = DieGradient::default();
+        let mut cuts = Vec::with_capacity(usize::from(columns) * usize::from(rows));
+        for row in 0..rows {
+            for column in 0..columns {
+                let location = DieLocation { column, row };
+                let systematic = gradient.offset_at(location);
+                let offset = Millivolts::new(corner_offset.get() + systematic.get());
+                cuts.push((location, RingOscillator::sample(family, offset, rng)));
+            }
+        }
+        CutArray {
+            cuts,
+            gradient,
+            counter: FrequencyCounter::new(family.counter_bits, family.reference_clock),
+            vdd: family.vdd_nominal,
+        }
+    }
+
+    /// Number of survey sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Whether the array is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cuts.is_empty()
+    }
+
+    /// The survey locations in row-major order.
+    pub fn locations(&self) -> impl Iterator<Item = DieLocation> + '_ {
+        self.cuts.iter().map(|(l, _)| *l)
+    }
+
+    /// True (noise-free) CUT delay at a site.
+    #[must_use]
+    pub fn true_delay_at(&self, location: DieLocation) -> Option<Nanoseconds> {
+        self.cuts
+            .iter()
+            .find(|(l, _)| *l == location)
+            .map(|(_, ro)| ro.cut_delay(self.vdd))
+    }
+
+    /// Measured CUT delay at a site (through the shared counter, with its
+    /// jitter), averaging 8 reads like [`crate::Chip::measure`].
+    pub fn measure_at<R: Rng + ?Sized>(
+        &self,
+        location: DieLocation,
+        rng: &mut R,
+    ) -> Option<Nanoseconds> {
+        let (_, ro) = self.cuts.iter().find(|(l, _)| *l == location)?;
+        let mean = self.counter.read_averaged(ro.frequency(self.vdd), 8, rng);
+        Some(self.counter.delay_of_count(mean))
+    }
+
+    /// Ages every site together (they share the fabric's schedule).
+    pub fn advance(&mut self, mode: RoMode, env: Environment, dt: Seconds) {
+        for (_, ro) in &mut self.cuts {
+            ro.advance(mode, env, dt);
+        }
+    }
+
+    /// Spread of fresh delays across the survey — what §4.2's location
+    /// survey quantifies before an experiment picks its site.
+    #[must_use]
+    pub fn fresh_delay_spread(&self) -> Nanoseconds {
+        let delays: Vec<f64> = self.cuts.iter().map(|(_, ro)| ro.fresh_cut_delay().get()).collect();
+        let max = delays.iter().cloned().fold(f64::MIN, f64::max);
+        let min = delays.iter().cloned().fold(f64::MAX, f64::min);
+        Nanoseconds::new(max - min)
+    }
+
+    /// The slowest site right now — the die's critical survey point.
+    #[must_use]
+    pub fn slowest_site(&self) -> (DieLocation, Nanoseconds) {
+        let (location, ro) = self
+            .cuts
+            .iter()
+            .max_by(|a, b| {
+                a.1.cut_delay(self.vdd)
+                    .partial_cmp(&b.1.cut_delay(self.vdd))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("array is non-empty by construction");
+        (*location, ro.cut_delay(self.vdd))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfheal_units::{Celsius, Hours, Volts};
+
+    fn array() -> CutArray {
+        let mut rng = StdRng::seed_from_u64(12);
+        CutArray::sample(
+            &Family::commercial_40nm(),
+            Millivolts::new(0.0),
+            4,
+            3,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn grid_dimensions_and_locations() {
+        let a = array();
+        assert_eq!(a.len(), 12);
+        assert!(!a.is_empty());
+        let locations: Vec<DieLocation> = a.locations().collect();
+        assert_eq!(locations[0], DieLocation { column: 0, row: 0 });
+        assert_eq!(locations[11], DieLocation { column: 3, row: 2 });
+        assert_eq!(locations[11].to_string(), "(3, 2)");
+    }
+
+    #[test]
+    fn gradient_makes_far_corner_slower_on_average() {
+        // Systematic gradient: the (3, 2) corner carries +7.5 mV of Vth
+        // over (0, 0), so averaged over local mismatch it is slower.
+        let total: (f64, f64) = (0..20)
+            .map(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let a = CutArray::sample(
+                    &Family::commercial_40nm(),
+                    Millivolts::new(0.0),
+                    4,
+                    3,
+                    &mut rng,
+                );
+                (
+                    a.true_delay_at(DieLocation { column: 0, row: 0 }).unwrap().get(),
+                    a.true_delay_at(DieLocation { column: 3, row: 2 }).unwrap().get(),
+                )
+            })
+            .fold((0.0, 0.0), |acc, (o, f)| (acc.0 + o, acc.1 + f));
+        assert!(total.1 > total.0, "far corner slower: {total:?}");
+    }
+
+    #[test]
+    fn survey_spread_is_resolvable() {
+        let a = array();
+        let spread = a.fresh_delay_spread();
+        assert!(spread.get() > 0.1, "{spread}");
+        assert!(spread.get() < 5.0, "but not absurd: {spread}");
+    }
+
+    #[test]
+    fn measure_matches_truth_within_counter_noise() {
+        let a = array();
+        let mut rng = StdRng::seed_from_u64(77);
+        for location in a.locations() {
+            let truth = a.true_delay_at(location).unwrap();
+            let measured = a.measure_at(location, &mut rng).unwrap();
+            assert!(
+                (measured.get() - truth.get()).abs() / truth.get() < 1.5e-3,
+                "{location}: {measured} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_location_is_none() {
+        let a = array();
+        let off_die = DieLocation { column: 9, row: 9 };
+        assert!(a.true_delay_at(off_die).is_none());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(a.measure_at(off_die, &mut rng).is_none());
+    }
+
+    #[test]
+    fn whole_array_ages_together() {
+        let mut a = array();
+        let before: Vec<f64> = a
+            .locations()
+            .map(|l| a.true_delay_at(l).unwrap().get())
+            .collect();
+        a.advance(
+            RoMode::Static,
+            Environment::new(Volts::new(1.2), Celsius::new(110.0)),
+            Hours::new(24.0).into(),
+        );
+        for (location, b) in a.locations().zip(before) {
+            assert!(a.true_delay_at(location).unwrap().get() > b, "{location} aged");
+        }
+    }
+
+    #[test]
+    fn slowest_site_tracks_aging() {
+        let mut a = array();
+        let (_, d0) = a.slowest_site();
+        a.advance(
+            RoMode::Static,
+            Environment::new(Volts::new(1.2), Celsius::new(110.0)),
+            Hours::new(24.0).into(),
+        );
+        let (_, d1) = a.slowest_site();
+        assert!(d1 > d0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_grid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = CutArray::sample(
+            &Family::commercial_40nm(),
+            Millivolts::new(0.0),
+            0,
+            2,
+            &mut rng,
+        );
+    }
+}

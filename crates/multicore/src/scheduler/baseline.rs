@@ -1,0 +1,107 @@
+//! Baseline schedulers: no self-healing awareness.
+
+use selfheal_units::{Millivolts, Seconds, Volts};
+
+use crate::floorplan::Floorplan;
+
+use super::{flags_from_active, Scheduler};
+
+/// Keeps every core active regardless of demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlwaysOn;
+
+impl Scheduler for AlwaysOn {
+    fn assign(
+        &mut self,
+        _now: Seconds,
+        _demand: usize,
+        plan: &Floorplan,
+        _wear: &[Millivolts],
+    ) -> Vec<bool> {
+        vec![true; plan.len()]
+    }
+
+    fn sleep_supply(&self) -> Volts {
+        Volts::ZERO // never used: nothing sleeps
+    }
+
+    fn name(&self) -> &str {
+        "always-on"
+    }
+}
+
+/// Meets demand with a fixed preference order (core 1 first) and gates
+/// the rest at 0 V.
+///
+/// This is conventional energy-aware scheduling: it saves power but (a)
+/// the preferred low-index cores never rest, concentrating wearout, and
+/// (b) the gated cores only recover passively at ambient temperature —
+/// the "sleep is just inactivity" strawman of §2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NaiveGating;
+
+impl Scheduler for NaiveGating {
+    fn assign(
+        &mut self,
+        _now: Seconds,
+        demand: usize,
+        plan: &Floorplan,
+        _wear: &[Millivolts],
+    ) -> Vec<bool> {
+        flags_from_active(plan.len(), 0..demand.min(plan.len()))
+    }
+
+    fn sleep_supply(&self) -> Volts {
+        Volts::ZERO
+    }
+
+    fn name(&self) -> &str {
+        "naive-gating"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::assert_serves_demand;
+
+    #[test]
+    fn always_on_activates_everyone() {
+        assert_serves_demand(&mut AlwaysOn, true);
+        let flags = AlwaysOn.assign(
+            Seconds::ZERO,
+            2,
+            &Floorplan::eight_core(),
+            &[Millivolts::new(0.0); 8],
+        );
+        assert!(flags.iter().all(|f| *f));
+    }
+
+    #[test]
+    fn naive_gating_prefers_low_indices() {
+        assert_serves_demand(&mut NaiveGating, false);
+        let flags = NaiveGating.assign(
+            Seconds::ZERO,
+            3,
+            &Floorplan::eight_core(),
+            &[Millivolts::new(0.0); 8],
+        );
+        assert_eq!(
+            flags,
+            vec![true, true, true, false, false, false, false, false]
+        );
+        assert_eq!(NaiveGating.sleep_supply(), Volts::ZERO);
+    }
+
+    #[test]
+    fn naive_gating_is_time_invariant() {
+        // The same cores work forever — the wear-concentration flaw the
+        // rotation schedulers fix.
+        let plan = Floorplan::eight_core();
+        let wear = [Millivolts::new(0.0); 8];
+        let mut s = NaiveGating;
+        let early = s.assign(Seconds::ZERO, 5, &plan, &wear);
+        let late = s.assign(Seconds::new(1e7), 5, &plan, &wear);
+        assert_eq!(early, late);
+    }
+}

@@ -1,0 +1,148 @@
+//! Measurement-log export: CSV emission for analysis outside Rust
+//! (spreadsheets, gnuplot, pandas).
+//!
+//! The writer is dependency-free and deliberately boring: one row per
+//! [`MeasurementRecord`], RFC-4180-style quoting for the phase names.
+
+use std::io::{self, Write};
+
+use crate::harness::{MeasurementRecord, PhaseResult};
+
+/// The CSV header emitted before any rows.
+pub const CSV_HEADER: &str = "phase,elapsed_in_phase_s,total_elapsed_s,mode,\
+temperature_setpoint_c,supply_v,count,saturated,frequency_hz,cut_delay_ns";
+
+/// Quotes a CSV field if it contains separators, quotes or newlines.
+#[must_use]
+pub fn csv_field(raw: &str) -> String {
+    if raw.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Formats one record as a CSV row (no trailing newline).
+#[must_use]
+pub fn csv_row(phase: &str, record: &MeasurementRecord) -> String {
+    format!(
+        "{},{:.3},{:.3},{},{:.2},{:.3},{},{},{:.3},{:.6}",
+        csv_field(phase),
+        record.elapsed_in_phase.get(),
+        record.total_elapsed.get(),
+        record.mode,
+        record.temperature_setpoint.get(),
+        record.supply.get(),
+        record.measurement.reading.count,
+        record.measurement.reading.saturated,
+        record.measurement.frequency.get(),
+        record.measurement.cut_delay.get(),
+    )
+}
+
+/// Writes a whole session (one or more phases) as CSV.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use selfheal_fpga::{Chip, ChipId};
+/// use selfheal_testbench::export::write_csv;
+/// use selfheal_testbench::{PhaseSpec, Schedule, TestHarness};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let chip = Chip::commercial_40nm(ChipId::new(1), &mut rng);
+/// let mut harness = TestHarness::new(chip);
+/// let results = harness.run_schedule(
+///     &Schedule::new().then(PhaseSpec::burn_in()),
+///     &mut rng,
+/// )?;
+///
+/// let mut csv = Vec::new();
+/// write_csv(&mut csv, &results)?;
+/// let text = String::from_utf8(csv)?;
+/// assert!(text.starts_with("phase,"));
+/// assert!(text.contains("burn-in baseline"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_csv<W: Write>(mut writer: W, phases: &[PhaseResult]) -> io::Result<()> {
+    writeln!(writer, "{CSV_HEADER}")?;
+    for phase in phases {
+        for record in &phase.records {
+            writeln!(writer, "{}", csv_row(&phase.name, record))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selfheal_fpga::{Chip, ChipId};
+    use selfheal_units::{Celsius, Hours, Minutes};
+
+    use crate::{PhaseSpec, Schedule, TestHarness};
+
+    fn session() -> Vec<PhaseResult> {
+        let mut rng = StdRng::seed_from_u64(9);
+        let chip = Chip::commercial_40nm(ChipId::new(3), &mut rng);
+        let mut harness = TestHarness::new(chip);
+        let schedule = Schedule::new().then(PhaseSpec::dc_stress_phase(
+            Celsius::new(110.0),
+            Hours::new(1.0).into(),
+            Minutes::new(20.0).into(),
+        ));
+        harness.run_schedule(&schedule, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let phases = session();
+        let mut out = Vec::new();
+        write_csv(&mut out, &phases).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let expected_rows: usize = phases.iter().map(|p| p.records.len()).sum();
+        assert_eq!(lines.len(), expected_rows + 1);
+        assert_eq!(lines[0], CSV_HEADER);
+        // Every data row has the same number of fields as the header.
+        let header_fields = CSV_HEADER.split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), header_fields, "{line}");
+        }
+    }
+
+    #[test]
+    fn quoting_protects_awkward_phase_names() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn rows_are_parsable_numbers() {
+        let phases = session();
+        let row = csv_row(&phases[0].name, &phases[0].records[1]);
+        let fields: Vec<&str> = row.split(',').collect();
+        // elapsed seconds parses and matches the 20-minute cadence.
+        let elapsed: f64 = fields[1].parse().unwrap();
+        assert!((elapsed - 1200.0).abs() < 1e-6);
+        let freq: f64 = fields[8].parse().unwrap();
+        assert!(freq > 1e6, "RO frequency in Hz: {freq}");
+    }
+
+    #[test]
+    fn empty_session_is_just_the_header() {
+        let mut out = Vec::new();
+        write_csv(&mut out, &[]).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().trim(), CSV_HEADER);
+    }
+}

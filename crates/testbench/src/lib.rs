@@ -1,0 +1,55 @@
+//! The accelerated-test laboratory (§4 of the paper).
+//!
+//! The paper's measurement setup is a thermal chamber holding the FPGA
+//! boards, a bench DC supply that can gate the core rail to 0 V or drive
+//! it to −0.3 V, a clock generator for the counter reference, and a
+//! diagnostic program that samples the ring-oscillator counter on a fixed
+//! cadence. This crate simulates that laboratory:
+//!
+//! * [`ThermalChamber`] — setpoint control with the quoted ±0.3 °C
+//!   fluctuation and a range guard.
+//! * [`PowerSupply`] — programmable core rail including negative voltages.
+//! * [`ClockGenerator`] — the 500 Hz counter reference.
+//! * [`TestHarness`] — wires a [`selfheal_fpga::Chip`] to the instruments
+//!   and runs stress/recovery phases with the paper's sampling cadence,
+//!   yielding timestamped [`MeasurementRecord`]s.
+//! * [`cases`] — the paper's Table 1 test matrix, encoded verbatim.
+//!
+//! # Example: one accelerated stress phase
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use selfheal_fpga::{Chip, ChipId};
+//! use selfheal_testbench::{PhaseSpec, TestHarness};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let chip = Chip::commercial_40nm(ChipId::new(2), &mut rng);
+//! let mut harness = TestHarness::new(chip);
+//!
+//! // AS110DC24, sampled every 20 minutes — but shortened here.
+//! let spec = PhaseSpec::dc_stress_phase(
+//!     selfheal_units::Celsius::new(110.0),
+//!     selfheal_units::Hours::new(1.0).into(),
+//!     selfheal_units::Minutes::new(20.0).into(),
+//! );
+//! let records = harness.run_phase(&spec, &mut rng).expect("phase runs");
+//! assert_eq!(records.len(), 4, "t = 0, 20, 40, 60 min");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cases;
+pub mod chamber;
+pub mod clock;
+pub mod export;
+pub mod harness;
+pub mod schedule;
+pub mod supply;
+
+pub use cases::{PhaseKind, TestCase};
+pub use chamber::{ChamberError, ThermalChamber};
+pub use clock::ClockGenerator;
+pub use harness::{HarnessError, MeasurementRecord, PhaseResult, TestHarness};
+pub use schedule::{PhaseSpec, Schedule};
+pub use supply::{PowerSupply, SupplyError};

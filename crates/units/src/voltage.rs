@@ -1,0 +1,286 @@
+//! Voltage quantities.
+//!
+//! The reproduction needs signed voltages: the paper's accelerated recovery
+//! applies a *negative* supply (−0.3 V) to reverse the BTI stress direction,
+//! so unlike many electrical crates we deliberately do not restrict voltages
+//! to be non-negative.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A potential difference in volts.
+///
+/// # Examples
+///
+/// ```
+/// use selfheal_units::Volts;
+///
+/// let nominal = Volts::new(1.2);
+/// let droop = Volts::new(0.05);
+/// assert_eq!(nominal - droop, Volts::new(1.15));
+/// assert_eq!(-Volts::new(0.3), Volts::new(-0.3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Volts(f64);
+
+impl Volts {
+    /// Zero volts — the "power gated" passive-recovery supply level.
+    pub const ZERO: Volts = Volts(0.0);
+
+    /// Creates a voltage from a value in volts.
+    #[must_use]
+    pub const fn new(volts: f64) -> Self {
+        Volts(volts)
+    }
+
+    /// Returns the raw value in volts.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this is a reverse-bias (negative) voltage.
+    ///
+    /// Negative supply voltages are the paper's primary accelerated-recovery
+    /// knob (§5.2.1), so the distinction deserves a named predicate.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// Returns the magnitude of the voltage.
+    #[must_use]
+    pub fn abs(self) -> Volts {
+        Volts(self.0.abs())
+    }
+
+    /// Converts to millivolts.
+    #[must_use]
+    pub fn to_millivolts(self) -> Millivolts {
+        Millivolts::new(self.0 * 1e3)
+    }
+
+    /// Linear interpolation between two voltages.
+    ///
+    /// Used by the supply model to ramp between setpoints. `t` is clamped to
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn lerp(self, other: Volts, t: f64) -> Volts {
+        let t = t.clamp(0.0, 1.0);
+        Volts(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl fmt::Display for Volts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} V", self.0)
+    }
+}
+
+impl Add for Volts {
+    type Output = Volts;
+    fn add(self, rhs: Volts) -> Volts {
+        Volts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Volts {
+    fn add_assign(&mut self, rhs: Volts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Volts {
+    type Output = Volts;
+    fn sub(self, rhs: Volts) -> Volts {
+        Volts(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Volts {
+    fn sub_assign(&mut self, rhs: Volts) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Volts {
+    type Output = Volts;
+    fn neg(self) -> Volts {
+        Volts(-self.0)
+    }
+}
+
+impl Mul<f64> for Volts {
+    type Output = Volts;
+    fn mul(self, rhs: f64) -> Volts {
+        Volts(self.0 * rhs)
+    }
+}
+
+impl Mul<Volts> for f64 {
+    type Output = Volts;
+    fn mul(self, rhs: Volts) -> Volts {
+        Volts(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Volts {
+    type Output = Volts;
+    fn div(self, rhs: f64) -> Volts {
+        Volts(self.0 / rhs)
+    }
+}
+
+impl Div<Volts> for Volts {
+    /// Dividing two voltages yields a dimensionless ratio.
+    type Output = f64;
+    fn div(self, rhs: Volts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Volts {
+    fn sum<I: Iterator<Item = Volts>>(iter: I) -> Volts {
+        Volts(iter.map(|v| v.0).sum())
+    }
+}
+
+impl From<Millivolts> for Volts {
+    fn from(mv: Millivolts) -> Volts {
+        Volts(mv.get() * 1e-3)
+    }
+}
+
+/// A potential difference in millivolts.
+///
+/// Threshold-voltage shifts in the BTI literature are conventionally quoted
+/// in millivolts; keeping a distinct type avoids the classic ×1000 slip.
+///
+/// # Examples
+///
+/// ```
+/// use selfheal_units::{Millivolts, Volts};
+///
+/// let shift = Millivolts::new(42.0);
+/// let as_volts: Volts = shift.into();
+/// assert!((as_volts.get() - 0.042).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Millivolts(f64);
+
+impl Millivolts {
+    /// Creates a voltage from a value in millivolts.
+    #[must_use]
+    pub const fn new(millivolts: f64) -> Self {
+        Millivolts(millivolts)
+    }
+
+    /// Returns the raw value in millivolts.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Millivolts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} mV", self.0)
+    }
+}
+
+impl From<Volts> for Millivolts {
+    fn from(v: Volts) -> Millivolts {
+        v.to_millivolts()
+    }
+}
+
+impl Add for Millivolts {
+    type Output = Millivolts;
+    fn add(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Millivolts {
+    type Output = Millivolts;
+    fn sub(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_predicate_matches_sign() {
+        assert!(Volts::new(-0.3).is_negative());
+        assert!(!Volts::new(0.0).is_negative());
+        assert!(!Volts::new(1.2).is_negative());
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Volts::new(1.2);
+        let b = Volts::new(0.3);
+        assert_eq!(a + b, Volts::new(1.5));
+        assert!(((a - b).get() - 0.9).abs() < 1e-12);
+        assert_eq!(-b, Volts::new(-0.3));
+        assert_eq!(a * 2.0, Volts::new(2.4));
+        assert_eq!(2.0 * a, Volts::new(2.4));
+        assert_eq!(a / 2.0, Volts::new(0.6));
+        assert!((a / b - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut v = Volts::new(1.0);
+        v += Volts::new(0.2);
+        assert!((v.get() - 1.2).abs() < 1e-12);
+        v -= Volts::new(1.5);
+        assert!((v.get() + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn millivolt_round_trip() {
+        let v = Volts::new(-0.3);
+        let mv: Millivolts = v.into();
+        assert!((mv.get() + 300.0).abs() < 1e-9);
+        let back: Volts = mv.into();
+        assert!((back.get() - v.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_clamps_parameter() {
+        let a = Volts::new(0.0);
+        let b = Volts::new(1.0);
+        assert_eq!(a.lerp(b, -1.0), a);
+        assert_eq!(a.lerp(b, 2.0), b);
+        assert_eq!(a.lerp(b, 0.5), Volts::new(0.5));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Volts = [Volts::new(0.1), Volts::new(0.2), Volts::new(0.3)]
+            .into_iter()
+            .sum();
+        assert!((total.get() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_with_unit() {
+        assert_eq!(Volts::new(-0.3).to_string(), "-0.300 V");
+        assert_eq!(Millivolts::new(12.5).to_string(), "12.50 mV");
+    }
+
+    #[test]
+    fn abs_strips_sign() {
+        assert_eq!(Volts::new(-0.3).abs(), Volts::new(0.3));
+        assert_eq!(Volts::new(0.3).abs(), Volts::new(0.3));
+    }
+}

@@ -1,0 +1,71 @@
+//! A full laboratory session, the way the paper's authors ran one:
+//! mount a chip in the chamber, burn it in, stress it for a day at
+//! 110 °C sampling every 20 minutes, then rejuvenate at −0.3 V/110 °C
+//! sampling every 30 minutes — and print the measurement log.
+//!
+//! Run with `cargo run --release --example burn_in_and_heal`.
+
+use rand::SeedableRng;
+use selfheal::metrics::{degradation_series, recovery_series};
+use selfheal_fpga::{Chip, ChipId};
+use selfheal_testbench::{PhaseSpec, Schedule, TestHarness};
+use selfheal_units::{Celsius, Hours, Minutes, Volts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let chip = Chip::commercial_40nm(ChipId::new(5), &mut rng);
+    let mut harness = TestHarness::new(chip);
+
+    let schedule = Schedule::new()
+        .then(PhaseSpec::burn_in())
+        .then(PhaseSpec::dc_stress_phase(
+            Celsius::new(110.0),
+            Hours::new(24.0).into(),
+            Minutes::new(20.0).into(),
+        ))
+        .then(PhaseSpec::recovery_phase(
+            Volts::new(-0.3),
+            Celsius::new(110.0),
+            Hours::new(6.0).into(),
+            Minutes::new(30.0).into(),
+        ));
+    schedule.validate()?;
+
+    let results = harness.run_schedule(&schedule, &mut rng)?;
+
+    // The stress phase, as the chamber log would show it.
+    let stress = &results[1];
+    println!("== {} ==", stress.name);
+    println!("{:>8} {:>12} {:>10}", "t (h)", "freq deg (%)", "dTd (ns)");
+    for point in degradation_series(&stress.records).iter().step_by(9) {
+        println!(
+            "{:>8.1} {:>12.3} {:>10.3}",
+            point.elapsed.to_hours().get(),
+            point.frequency_degradation.get(),
+            point.delay_shift.get()
+        );
+    }
+
+    // The recovery phase.
+    let fresh = stress.records[0].measurement.cut_delay;
+    let recovery = &results[2];
+    println!("\n== {} ==", recovery.name);
+    println!("{:>8} {:>10} {:>14}", "t2 (h)", "RD (ns)", "remaining (ns)");
+    for point in recovery_series(&recovery.records, fresh).iter().step_by(2) {
+        println!(
+            "{:>8.1} {:>10.3} {:>14.3}",
+            point.elapsed.to_hours().get(),
+            point.recovered_delay.get(),
+            point.remaining_shift.get()
+        );
+    }
+
+    let aged = recovery.records.first().unwrap().measurement.cut_delay;
+    let healed = recovery.records.last().unwrap().measurement.cut_delay;
+    println!(
+        "\nsession total: inflicted {:.3} ns, healed {:.3} ns back in 1/4 of the time",
+        (aged - fresh).get(),
+        (aged - healed).get()
+    );
+    Ok(())
+}

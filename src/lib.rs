@@ -1,0 +1,13 @@
+//! Root package of the accelerated self-healing reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests under
+//! `tests/` and the runnable examples under `examples/`. All functionality
+//! lives in the member crates; see [`selfheal`] for the paper's primary
+//! contribution and the README for a guided tour.
+
+pub use selfheal;
+pub use selfheal_bti;
+pub use selfheal_fpga;
+pub use selfheal_multicore;
+pub use selfheal_testbench;
+pub use selfheal_units;

@@ -1,0 +1,90 @@
+//! Serde round-trips for the data-structure types (C-SERDE): campaign
+//! outputs must be exportable and the simulation state checkpointable.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selfheal_bti::analytic::AnalyticBti;
+use selfheal_bti::td::{TrapEnsemble, TrapEnsembleParams};
+use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_fpga::{Chip, ChipId, RoMode};
+use selfheal_testbench::cases;
+use selfheal_units::{Celsius, Hours, Ratio, Seconds, Volts};
+
+fn hot() -> Environment {
+    Environment::new(Volts::new(1.2), Celsius::new(110.0))
+}
+
+#[test]
+fn units_round_trip_as_transparent_numbers() {
+    let v = Volts::new(-0.3);
+    let json = serde_json::to_string(&v).unwrap();
+    assert_eq!(json, "-0.3", "newtype is serde(transparent)");
+    assert_eq!(serde_json::from_str::<Volts>(&json).unwrap(), v);
+
+    let alpha = Ratio::PAPER_ALPHA;
+    let json = serde_json::to_string(&alpha).unwrap();
+    assert_eq!(serde_json::from_str::<Ratio>(&json).unwrap(), alpha);
+
+    let t = Seconds::new(86_400.0);
+    let back: Seconds = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    assert_eq!(back, t);
+}
+
+#[test]
+fn aged_trap_ensemble_checkpoints_exactly() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut device = TrapEnsemble::sample(&TrapEnsembleParams::default(), &mut rng);
+    device.advance(DeviceCondition::dc_stress(hot()), Hours::new(24.0).into());
+
+    let json = serde_json::to_string(&device).unwrap();
+    let mut restored: TrapEnsemble = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, device);
+
+    // A restored checkpoint must continue identically.
+    let heal = DeviceCondition::recovery(Environment::new(Volts::new(-0.3), Celsius::new(110.0)));
+    device.advance(heal, Hours::new(6.0).into());
+    restored.advance(heal, Hours::new(6.0).into());
+    assert_eq!(restored.delta_vth(), device.delta_vth());
+}
+
+#[test]
+fn aged_chip_checkpoints_exactly() {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut chip = Chip::commercial_40nm(ChipId::new(4), &mut rng);
+    chip.advance(RoMode::Static, hot(), Hours::new(8.0).into());
+
+    let json = serde_json::to_string(&chip).unwrap();
+    let restored: Chip = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, chip);
+    assert_eq!(restored.true_cut_delay(), chip.true_cut_delay());
+    assert_eq!(restored.fresh_cut_delay(), chip.fresh_cut_delay());
+}
+
+#[test]
+fn analytic_model_checkpoints_exactly() {
+    let mut model = AnalyticBti::default();
+    model.advance(DeviceCondition::dc_stress(hot()), Hours::new(24.0).into());
+    let json = serde_json::to_string(&model).unwrap();
+    let restored: AnalyticBti = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored, model);
+}
+
+#[test]
+fn table1_serialises_for_reports() {
+    let table = cases::table1();
+    let json = serde_json::to_string(&table).unwrap();
+    assert!(json.contains("AR110N6"));
+    assert!(json.contains("-0.3"));
+}
+
+#[test]
+fn campaign_outputs_serialise_for_archival() {
+    use selfheal::experiment::PaperExperiment;
+    let outputs = PaperExperiment::quick(3).run();
+    let json = serde_json::to_string(&outputs).unwrap();
+    // Spot-check the structure a downstream notebook would read.
+    assert!(json.contains("\"stresses\""));
+    assert!(json.contains("\"recoveries\""));
+    assert!(json.contains("AS110AC24"));
+    assert!(json.len() > 10_000, "full series are included");
+}
