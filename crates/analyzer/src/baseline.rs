@@ -1,0 +1,167 @@
+//! Baseline ("ratchet") support.
+//!
+//! A baseline records, per `(lint, file)` pair, how many findings are
+//! accepted as existing debt. The gate then fails only when a pair
+//! *exceeds* its baselined count — new debt is blocked, paying debt
+//! down never breaks the build, and a stale (over-generous) baseline is
+//! reported so it can be re-tightened with `--update-baseline`.
+//!
+//! Counts are keyed on `(lint, file)` rather than exact lines so the
+//! baseline survives unrelated edits that shift line numbers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::findings::Finding;
+
+/// Accepted findings per `(lint-id, file)` pair.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parses the baseline text format: one `lint-id<TAB>path<TAB>count`
+/// entry per line; `#` comments and blank lines ignored.
+///
+/// Returns `Err` with a description for malformed lines.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut map = Baseline::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (Some(lint), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `lint<TAB>file<TAB>count`, got `{line}`",
+                lineno + 1
+            ));
+        };
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", lineno + 1))?;
+        *map.entry((lint.to_string(), file.to_string())).or_insert(0) += count;
+    }
+    Ok(map)
+}
+
+/// Collapses findings into per-`(lint, file)` counts.
+#[must_use]
+pub fn summarize(findings: &[Finding]) -> Baseline {
+    let mut map = Baseline::new();
+    for f in findings {
+        *map.entry((f.lint.id().to_string(), f.file.display().to_string()))
+            .or_insert(0) += 1;
+    }
+    map
+}
+
+/// Renders a baseline back to its text format (sorted, stable).
+#[must_use]
+pub fn render(map: &Baseline) -> String {
+    let mut out = String::from(
+        "# selfheal-analyzer baseline: accepted findings per (lint, file).\n\
+         # Regenerate with: cargo analyzer check --update-baseline\n",
+    );
+    for ((lint, file), count) in map {
+        let _ = writeln!(out, "{lint}\t{file}\t{count}");
+    }
+    out
+}
+
+/// The verdict of checking current findings against a baseline.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Pairs whose current count exceeds the baseline: `(lint, file,
+    /// current, allowed)`. Non-empty fails the gate.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// Pairs whose baseline is larger than reality (debt was paid down)
+    /// or that vanished entirely; the baseline should be re-tightened.
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// Number of current findings covered by the baseline.
+    pub baselined: usize,
+}
+
+/// Compares current findings against the baseline.
+#[must_use]
+pub fn check(current: &Baseline, baseline: &Baseline) -> Verdict {
+    let mut verdict = Verdict::default();
+    for ((lint, file), &count) in current {
+        let allowed = baseline.get(&(lint.clone(), file.clone())).copied().unwrap_or(0);
+        if count > allowed {
+            verdict.regressions.push((lint.clone(), file.clone(), count, allowed));
+        }
+        verdict.baselined += count.min(allowed);
+    }
+    for ((lint, file), &allowed) in baseline {
+        let count = current.get(&(lint.clone(), file.clone())).copied().unwrap_or(0);
+        if count < allowed {
+            verdict.stale.push((lint.clone(), file.clone(), count, allowed));
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::findings::Lint;
+    use std::path::PathBuf;
+
+    fn finding(lint: Lint, file: &str) -> Finding {
+        Finding {
+            lint,
+            file: PathBuf::from(file),
+            line: 1,
+            message: String::new(),
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let text = "# comment\nbare-physical-f64\tcrates/core/src/planner.rs\t3\n";
+        let map = parse(text).unwrap();
+        assert_eq!(
+            map.get(&("bare-physical-f64".into(), "crates/core/src/planner.rs".into())),
+            Some(&3)
+        );
+        let rendered = render(&map);
+        assert_eq!(parse(&rendered).unwrap(), map);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("not a baseline line").is_err());
+        assert!(parse("a\tb\tnot-a-number").is_err());
+    }
+
+    #[test]
+    fn regressions_and_stale_entries() {
+        let current = summarize(&[
+            finding(Lint::UnwrapInLib, "a.rs"),
+            finding(Lint::UnwrapInLib, "a.rs"),
+            finding(Lint::BarePhysicalF64, "b.rs"),
+        ]);
+        let baseline = parse("unwrap-in-lib\ta.rs\t1\nbare-physical-f64\tb.rs\t2\n").unwrap();
+        let verdict = check(&current, &baseline);
+        assert_eq!(
+            verdict.regressions,
+            vec![("unwrap-in-lib".into(), "a.rs".into(), 2, 1)]
+        );
+        assert_eq!(
+            verdict.stale,
+            vec![("bare-physical-f64".into(), "b.rs".into(), 1, 2)]
+        );
+        // One unwrap covered, one bare-f64 covered.
+        assert_eq!(verdict.baselined, 2);
+    }
+
+    #[test]
+    fn empty_baseline_flags_everything() {
+        let current = summarize(&[finding(Lint::UnwrapInLib, "a.rs")]);
+        let verdict = check(&current, &Baseline::new());
+        assert_eq!(verdict.regressions.len(), 1);
+        assert_eq!(verdict.baselined, 0);
+    }
+}

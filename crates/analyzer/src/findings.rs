@@ -1,0 +1,249 @@
+//! Finding types, lint identities, and report rendering.
+//!
+//! `serde_json` is stubbed in this offline workspace, so the `--json`
+//! output is rendered by hand; the escaping helper covers everything a
+//! source snippet can contain.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The five domain lints the analyzer implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lint {
+    /// `pub fn` signatures passing physical quantities as bare `f64`.
+    BarePhysicalF64,
+    /// Float orderings that misbehave or panic on NaN.
+    NanUnsafeOrdering,
+    /// `.unwrap()` / `.expect()` in non-test library code.
+    UnwrapInLib,
+    /// Physical literals outside plausible silicon operating ranges.
+    SuspiciousPhysicalLiteral,
+    /// Pure unit-returning accessors missing `#[must_use]`.
+    MissingMustUse,
+}
+
+/// All lints, in reporting order.
+pub const ALL_LINTS: [Lint; 5] = [
+    Lint::BarePhysicalF64,
+    Lint::NanUnsafeOrdering,
+    Lint::UnwrapInLib,
+    Lint::SuspiciousPhysicalLiteral,
+    Lint::MissingMustUse,
+];
+
+/// How serious a finding is. Every non-baselined finding gates the
+/// build regardless of severity; the split is informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/robustness debt.
+    Warning,
+    /// Latent panic or wrong-result hazard.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+impl Lint {
+    /// Stable kebab-case id used on the CLI, in baselines and in allows.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::BarePhysicalF64 => "bare-physical-f64",
+            Lint::NanUnsafeOrdering => "nan-unsafe-ordering",
+            Lint::UnwrapInLib => "unwrap-in-lib",
+            Lint::SuspiciousPhysicalLiteral => "suspicious-physical-literal",
+            Lint::MissingMustUse => "missing-must-use",
+        }
+    }
+
+    /// Default severity for findings of this lint.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::NanUnsafeOrdering | Lint::UnwrapInLib => Severity::Error,
+            Lint::BarePhysicalF64
+            | Lint::SuspiciousPhysicalLiteral
+            | Lint::MissingMustUse => Severity::Warning,
+        }
+    }
+
+    /// One-line description shown in `--help` style output.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            Lint::BarePhysicalF64 => {
+                "public APIs must pass physical quantities as selfheal-units newtypes, not bare f64"
+            }
+            Lint::NanUnsafeOrdering => {
+                "float orderings must use total_cmp or NaN-aware helpers, never partial_cmp().unwrap() or f64::max folds"
+            }
+            Lint::UnwrapInLib => {
+                ".unwrap()/.expect() are forbidden in non-test library code of the model crates"
+            }
+            Lint::SuspiciousPhysicalLiteral => {
+                "voltage literals must lie in [-0.5, 1.5] V and temperatures in [-55, 150] C"
+            }
+            Lint::MissingMustUse => {
+                "pure unit-returning accessors must carry #[must_use]"
+            }
+        }
+    }
+
+    /// Parses a kebab-case id back to a lint.
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Lint> {
+        ALL_LINTS.into_iter().find(|l| l.id() == id)
+    }
+}
+
+/// One lint hit at a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human explanation of what is wrong and what to use instead.
+    pub message: String,
+    /// A short source-derived snippet identifying the construct.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// Severity inherited from the lint.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.lint.severity()
+    }
+
+    /// `file:line: severity [lint-id] message` single-line rendering.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: {} [{}] {} ({})",
+            self.file.display(),
+            self.line,
+            self.severity(),
+            self.lint.id(),
+            self.message,
+            self.snippet,
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full machine-readable report.
+///
+/// Shape:
+/// ```json
+/// {
+///   "findings": [{"lint": "...", "severity": "...", "file": "...",
+///                 "line": 1, "message": "...", "snippet": "..."}],
+///   "total": 3,
+///   "baselined": 2,
+///   "new": 1
+/// }
+/// ```
+#[must_use]
+pub fn render_json(findings: &[Finding], baselined: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"lint\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            f.lint.id(),
+            f.severity(),
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"total\": {},\n  \"baselined\": {},\n  \"new\": {}\n}}\n",
+        findings.len(),
+        baselined,
+        findings.len().saturating_sub(baselined),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        for lint in ALL_LINTS {
+            assert_eq!(Lint::from_id(lint.id()), Some(lint));
+        }
+        assert_eq!(Lint::from_id("nonsense"), None);
+    }
+
+    #[test]
+    fn json_escaping_covers_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough_to_eyeball() {
+        let f = Finding {
+            lint: Lint::UnwrapInLib,
+            file: PathBuf::from("crates/core/src/lib.rs"),
+            line: 7,
+            message: "say \"no\" to unwrap".into(),
+            snippet: ".unwrap()".into(),
+        };
+        let json = render_json(&[f], 0);
+        assert!(json.contains("\"lint\": \"unwrap-in-lib\""));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\"new\": 1"));
+        // Braces and brackets balance.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let json = render_json(&[], 0);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"total\": 0"));
+    }
+}

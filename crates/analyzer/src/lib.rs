@@ -1,0 +1,66 @@
+//! `selfheal-analyzer` — domain-aware static analysis for the
+//! self-healing workspace.
+//!
+//! The physics crates encode their domain rules in the type system
+//! (`selfheal-units`), but nothing stops a new API from taking a bare
+//! `f64` volt count, sorting floats through `partial_cmp().unwrap()`,
+//! or hard-coding a 12 V supply. This crate is the gate that does: a
+//! token-level static-analysis pass with five lints —
+//!
+//! | id | severity | rule |
+//! |----|----------|------|
+//! | `bare-physical-f64` | warning | `pub fn` params/returns naming physical quantities must use units newtypes |
+//! | `nan-unsafe-ordering` | error | no `partial_cmp().unwrap()`, no bare `f64::max`/`min` reduction keys |
+//! | `unwrap-in-lib` | error | no `.unwrap()`/`.expect()` in model-crate library code |
+//! | `suspicious-physical-literal` | warning | `Volts::new`/`Celsius::new` literals must be physically plausible |
+//! | `missing-must-use` | warning | pure unit-returning accessors need `#[must_use]` |
+//!
+//! Run it as `cargo analyzer check` (alias in `.cargo/config.toml`) or
+//! `cargo run -p selfheal-analyzer -- check [--json] [--baseline <file>]`.
+//! Existing debt is ratcheted through a baseline file
+//! (`analyzer-baseline.txt`); only *new* findings fail the gate.
+//! Individual sites can opt out with a `// analyzer: allow(<lint-id>)`
+//! comment on the offending line or the line above.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+pub mod sig;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use findings::{Finding, Lint, Severity, ALL_LINTS};
+pub use lints::FileContext;
+
+/// Analyzes one source file under the given context.
+#[must_use]
+pub fn analyze_source(rel_path: &Path, source: &str, ctx: &FileContext) -> Vec<Finding> {
+    lints::run_all(rel_path, &lexer::lex(source), ctx)
+}
+
+/// Analyzes every discoverable file in the workspace at `root`.
+///
+/// Findings are sorted by (file, line, lint). Unreadable files are an
+/// error — the gate must never silently skip what it claims to cover.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for item in walk::discover(root)? {
+        let source = std::fs::read_to_string(&item.abs)?;
+        findings.extend(analyze_source(&item.rel, &source, &item.ctx));
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint))
+    });
+    Ok(findings)
+}
+
+/// Crate version, for `--version` style output.
+#[must_use]
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}

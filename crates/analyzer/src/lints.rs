@@ -1,0 +1,561 @@
+//! The five domain lints, implemented over the token stream.
+
+use std::path::Path;
+
+use crate::findings::{Finding, Lint};
+use crate::lexer::{literal_value, LexedFile, Token, TokenKind};
+use crate::sig::{parse_pub_fns, test_region_mask, FnSig, SelfKind};
+
+/// Where a file sits in the workspace; drives lint applicability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Package name of the owning crate (`selfheal-bti`, `selfheal`, ...).
+    pub crate_name: String,
+    /// True for files under a crate's `src/` (library code).
+    pub is_lib: bool,
+    /// True for files under `tests/` or `benches/` (test-only targets).
+    pub is_test_target: bool,
+}
+
+impl FileContext {
+    /// Context for library code of the named crate.
+    #[must_use]
+    pub fn lib(crate_name: &str) -> Self {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            is_lib: true,
+            is_test_target: false,
+        }
+    }
+
+    /// Context for an example binary of the named crate.
+    #[must_use]
+    pub fn example(crate_name: &str) -> Self {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            is_lib: false,
+            is_test_target: false,
+        }
+    }
+
+    /// Context for an integration-test or bench target.
+    #[must_use]
+    pub fn test_target(crate_name: &str) -> Self {
+        FileContext {
+            crate_name: crate_name.to_string(),
+            is_lib: false,
+            is_test_target: true,
+        }
+    }
+}
+
+/// Crates whose library code is held to the no-unwrap rule.
+const UNWRAP_GATED_CRATES: [&str; 4] = [
+    "selfheal-bti",
+    "selfheal-fpga",
+    "selfheal",
+    "selfheal-multicore",
+];
+
+/// The selfheal-units newtypes (plus `Self` constructors excluded).
+const UNIT_TYPES: [&str; 15] = [
+    "Volts",
+    "Millivolts",
+    "ElectronVolts",
+    "Celsius",
+    "Kelvin",
+    "Seconds",
+    "Hours",
+    "Minutes",
+    "Nanoseconds",
+    "Hertz",
+    "Megahertz",
+    "Fraction",
+    "Percent",
+    "Ratio",
+    "DutyCycle",
+];
+
+/// Substrings of parameter/function names that imply a physical unit,
+/// with the newtype the API should use instead.
+const PHYSICAL_NAME_HINTS: [(&str, &str); 10] = [
+    ("vdd", "Volts"),
+    ("volt", "Volts or Millivolts"),
+    ("celsius", "Celsius"),
+    ("kelvin", "Kelvin"),
+    ("temp", "Celsius"),
+    ("sec", "Seconds"),
+    ("hour", "Hours"),
+    ("freq", "Hertz or Megahertz"),
+    ("alpha", "DutyCycle or Fraction"),
+    ("margin", "Millivolts"),
+];
+
+/// Runs every applicable lint over one lexed file.
+#[must_use]
+pub fn run_all(path: &Path, lexed: &LexedFile, ctx: &FileContext) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let mask = test_region_mask(tokens);
+    let mut findings = Vec::new();
+
+    let non_test_code = !ctx.is_test_target;
+    if non_test_code {
+        findings.extend(nan_unsafe_ordering(path, tokens, &mask));
+        findings.extend(suspicious_physical_literal(path, tokens, &mask));
+    }
+    if ctx.is_lib {
+        let sigs = parse_pub_fns(tokens, &mask);
+        if ctx.crate_name != "selfheal-units" {
+            findings.extend(bare_physical_f64(path, &sigs));
+        }
+        findings.extend(missing_must_use(path, &sigs));
+        if UNWRAP_GATED_CRATES.contains(&ctx.crate_name.as_str()) {
+            findings.extend(unwrap_in_lib(path, tokens, &mask));
+        }
+    }
+
+    // Apply `// analyzer: allow(...)` suppressions: an allow comment
+    // silences matching findings on its own line and the next line.
+    findings.retain(|f| {
+        !lexed.allows.iter().any(|a| {
+            (a.line == f.line || a.line + 1 == f.line)
+                && a.lints.iter().any(|l| l == f.lint.id())
+        })
+    });
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    findings
+}
+
+/// Matches the hint table against a snake_case name.
+fn physical_hint(name: &str) -> Option<(&'static str, &'static str)> {
+    let lower = name.to_ascii_lowercase();
+    PHYSICAL_NAME_HINTS
+        .into_iter()
+        .find(|(needle, _)| lower.contains(needle))
+}
+
+/// Lint: `pub fn` parameters/returns passing physical quantities as
+/// bare `f64`.
+fn bare_physical_f64(path: &Path, sigs: &[FnSig]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for sig in sigs.iter().filter(|s| !s.in_test_region) {
+        for param in &sig.params {
+            if param.ty != "f64" {
+                continue;
+            }
+            if let Some((needle, suggestion)) = physical_hint(&param.name) {
+                out.push(Finding {
+                    lint: Lint::BarePhysicalF64,
+                    file: path.to_path_buf(),
+                    line: param.line,
+                    message: format!(
+                        "parameter `{}: f64` of `pub fn {}` names a physical quantity (`{}`); take {} instead",
+                        param.name, sig.name, needle, suggestion
+                    ),
+                    snippet: format!("{}: f64", param.name),
+                });
+            }
+        }
+        if sig.ret == ["f64"] {
+            if let Some((needle, suggestion)) = physical_hint(&sig.name) {
+                out.push(Finding {
+                    lint: Lint::BarePhysicalF64,
+                    file: path.to_path_buf(),
+                    line: sig.line,
+                    message: format!(
+                        "`pub fn {}` returns a physical quantity (`{}`) as bare f64; return {} instead",
+                        sig.name, needle, suggestion
+                    ),
+                    snippet: format!("fn {} -> f64", sig.name),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lint: NaN-unsafe float orderings.
+fn nan_unsafe_ordering(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // `.partial_cmp(` — NaN-partial comparison.
+        if t.is_ident("partial_cmp")
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let after = skip_call(tokens, i + 1);
+            let (message, followup) = match followup_method(tokens, after) {
+                Some(m @ ("unwrap" | "expect")) => (
+                    format!(
+                        "partial_cmp().{m}() panics when either operand is NaN; use f64::total_cmp",
+                    ),
+                    format!(".partial_cmp().{m}()"),
+                ),
+                Some(m @ ("unwrap_or" | "unwrap_or_else")) => (
+                    format!(
+                        "partial_cmp().{m}(..) silently misorders NaN operands; use f64::total_cmp or reject NaN first",
+                    ),
+                    format!(".partial_cmp().{m}(..)"),
+                ),
+                _ => (
+                    "partial_cmp yields None for NaN operands; use f64::total_cmp or reject NaN first"
+                        .to_string(),
+                    ".partial_cmp()".to_string(),
+                ),
+            };
+            out.push(Finding {
+                lint: Lint::NanUnsafeOrdering,
+                file: path.to_path_buf(),
+                line: t.line,
+                message,
+                snippet: followup,
+            });
+        }
+        // Bare `f64::max` / `f64::min` function references (fold/reduce
+        // keys). A direct call `f64::max(a, b)` is fine — NaN handling
+        // is the caller's explicit choice there — but as a reduction
+        // key it silently absorbs NaN.
+        if (t.is_ident("f64") || t.is_ident("f32"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens
+                .get(i + 3)
+                .is_some_and(|n| n.is_ident("max") || n.is_ident("min"))
+            && !tokens.get(i + 4).is_some_and(|n| n.is_punct('('))
+        {
+            let which = &tokens[i + 3].text;
+            out.push(Finding {
+                lint: Lint::NanUnsafeOrdering,
+                file: path.to_path_buf(),
+                line: t.line,
+                message: format!(
+                    "`{}::{which}` as a reduction key silently discards NaN; use selfheal_units::float::{which}_total or handle NaN explicitly",
+                    t.text,
+                ),
+                snippet: format!("{}::{which}", t.text),
+            });
+        }
+    }
+    out
+}
+
+/// Returns the index just past the `( ... )` group opening at `open`.
+fn skip_call(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct('(') {
+            depth += 1;
+        } else if tokens[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// If the tokens at `i` are `.method(`, returns the method name.
+fn followup_method<'a>(tokens: &'a [Token], i: usize) -> Option<&'a str> {
+    if tokens.get(i).is_some_and(|t| t.is_punct('.'))
+        && tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+    {
+        Some(&tokens[i + 1].text)
+    } else {
+        None
+    }
+}
+
+/// Lint: `.unwrap()` / `.expect()` in non-test library code.
+fn unwrap_in_lib(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let is_unwrap = t.is_ident("unwrap");
+        let is_expect = t.is_ident("expect");
+        if (is_unwrap || is_expect)
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            // `partial_cmp(..).unwrap()` is nan-unsafe-ordering's case,
+            // reported there with a sharper message; skip it here.
+            if receiver_is_partial_cmp(tokens, i - 1) {
+                continue;
+            }
+            let method = &t.text;
+            out.push(Finding {
+                lint: Lint::UnwrapInLib,
+                file: path.to_path_buf(),
+                line: t.line,
+                message: format!(
+                    ".{method}() in library code turns data bugs into panics; return Result/Option, pattern-match, or document the invariant with an explicit panic!",
+                ),
+                snippet: format!(".{method}()"),
+            });
+        }
+    }
+    out
+}
+
+/// True when the expression ending just before the `.` at `dot` is a
+/// `partial_cmp(...)` call.
+fn receiver_is_partial_cmp(tokens: &[Token], dot: usize) -> bool {
+    if dot == 0 || !tokens[dot - 1].is_punct(')') {
+        return false;
+    }
+    // Walk back to the matching `(`.
+    let mut depth = 0i32;
+    let mut k = dot - 1;
+    loop {
+        if tokens[k].is_punct(')') {
+            depth += 1;
+        } else if tokens[k].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if k == 0 {
+            return false;
+        }
+        k -= 1;
+    }
+    k > 0 && tokens[k - 1].is_ident("partial_cmp")
+}
+
+/// Plausible silicon operating ranges for literal constructor args.
+const LITERAL_RANGES: [(&str, f64, f64, &str); 2] = [
+    ("Volts", -0.5, 1.5, "V"),
+    ("Celsius", -55.0, 150.0, "°C"),
+];
+
+/// Lint: `Volts::new(<lit>)` / `Celsius::new(<lit>)` outside plausible
+/// physical ranges, in non-test code.
+fn suspicious_physical_literal(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some((unit, lo, hi, sym)) = LITERAL_RANGES
+            .into_iter()
+            .find(|(name, ..)| t.is_ident(name))
+        else {
+            continue;
+        };
+        // Match `Unit :: new ( [-] <number> )` exactly: only literal
+        // arguments are checkable without type inference.
+        if !(tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("new"))
+            && tokens.get(i + 4).is_some_and(|n| n.is_punct('(')))
+        {
+            continue;
+        }
+        let mut j = i + 5;
+        let mut neg = false;
+        if tokens.get(j).is_some_and(|n| n.is_punct('-')) {
+            neg = true;
+            j += 1;
+        }
+        let Some(num) = tokens.get(j).filter(|n| n.kind == TokenKind::Number) else {
+            continue;
+        };
+        if !tokens.get(j + 1).is_some_and(|n| n.is_punct(')')) {
+            continue;
+        }
+        let Some(mut value) = literal_value(&num.text) else {
+            continue;
+        };
+        if neg {
+            value = -value;
+        }
+        if value < lo || value > hi {
+            out.push(Finding {
+                lint: Lint::SuspiciousPhysicalLiteral,
+                file: path.to_path_buf(),
+                line: t.line,
+                message: format!(
+                    "{unit}::new({value}) lies outside the plausible silicon range [{lo}, {hi}] {sym}; check units and intent",
+                ),
+                snippet: format!("{unit}::new({value})"),
+            });
+        }
+    }
+    out
+}
+
+/// Lint: pure unit-returning accessors missing `#[must_use]`.
+///
+/// A "pure accessor" here is a `pub fn` taking `self` or `&self` whose
+/// return type is exactly one selfheal-units newtype. Ignoring such a
+/// value is always a bug — the call has no side effects.
+fn missing_must_use(path: &Path, sigs: &[FnSig]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for sig in sigs.iter().filter(|s| !s.in_test_region) {
+        if !matches!(sig.self_kind, SelfKind::Ref | SelfKind::Value) {
+            continue;
+        }
+        let [ret] = sig.ret.as_slice() else { continue };
+        if !UNIT_TYPES.contains(&ret.as_str()) {
+            continue;
+        }
+        if sig.attr_idents.iter().any(|a| a == "must_use") {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::MissingMustUse,
+            file: path.to_path_buf(),
+            line: sig.line,
+            message: format!(
+                "`pub fn {}` is a pure accessor returning {ret}; add #[must_use]",
+                sig.name
+            ),
+            snippet: format!("fn {}(..) -> {ret}", sig.name),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn run(src: &str, ctx: &FileContext) -> Vec<Finding> {
+        run_all(&PathBuf::from("x.rs"), &lex(src), ctx)
+    }
+
+    fn lint_ids(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint.id()).collect()
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_is_an_error() {
+        let f = run(
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+            &FileContext::lib("selfheal"),
+        );
+        assert_eq!(lint_ids(&f), vec!["nan-unsafe-ordering"]);
+        assert!(f[0].message.contains("panics"));
+    }
+
+    #[test]
+    fn total_cmp_is_clean() {
+        let f = run(
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }",
+            &FileContext::lib("selfheal"),
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bare_fold_key_is_flagged_but_direct_call_is_not() {
+        let f = run(
+            "fn f(v: &[f64]) -> f64 { let a = v.iter().copied().fold(f64::MIN, f64::max); f64::max(a, 0.0) }",
+            &FileContext::lib("selfheal"),
+        );
+        assert_eq!(lint_ids(&f), vec!["nan-unsafe-ordering"]);
+        assert!(f[0].snippet.contains("f64::max"));
+    }
+
+    #[test]
+    fn unwrap_only_gated_in_model_crates() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(
+            lint_ids(&run(src, &FileContext::lib("selfheal-bti"))),
+            vec!["unwrap-in-lib"]
+        );
+        assert!(run(src, &FileContext::lib("selfheal-units")).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = run(
+            "fn f(x: Option<u8>) -> u8 { x.unwrap_or(3) }",
+            &FileContext::lib("selfheal-bti"),
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_mod_is_fine() {
+        let f = run(
+            "#[cfg(test)] mod tests { fn f(x: Option<u8>) -> u8 { x.unwrap() } }",
+            &FileContext::lib("selfheal-bti"),
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn physical_literals_out_of_range() {
+        let f = run(
+            "fn f() { let v = Volts::new(12.0); let t = Celsius::new(-60.0); let ok = Volts::new(-0.3); }",
+            &FileContext::example("selfheal"),
+        );
+        assert_eq!(
+            lint_ids(&f),
+            vec!["suspicious-physical-literal", "suspicious-physical-literal"]
+        );
+        assert!(f[0].message.contains("12"));
+        assert!(f[1].message.contains("-60"));
+    }
+
+    #[test]
+    fn bare_physical_param_and_return() {
+        let f = run(
+            "pub fn plan(vdd_volts: f64, count: f64) -> f64 { vdd_volts }\npub fn margin_mv(&self) -> f64 { 0.0 }",
+            &FileContext::lib("selfheal"),
+        );
+        assert_eq!(
+            lint_ids(&f),
+            vec!["bare-physical-f64", "bare-physical-f64"]
+        );
+        assert!(f[0].message.contains("vdd_volts"));
+        assert!(f[1].message.contains("margin_mv"));
+    }
+
+    #[test]
+    fn typed_params_are_clean() {
+        let f = run(
+            "pub fn plan(vdd: Volts, temp: Celsius) -> Millivolts { Millivolts::new(0.0) }",
+            &FileContext::lib("selfheal"),
+        );
+        // The unit return needs #[must_use] only for self-taking fns;
+        // free fns are not flagged.
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn must_use_missing_and_present() {
+        let src = "impl X { pub fn margin(&self) -> Millivolts { self.m } }";
+        let f = run(src, &FileContext::lib("selfheal"));
+        assert_eq!(lint_ids(&f), vec!["missing-must-use"]);
+
+        let src_ok = "impl X { #[must_use] pub fn margin(&self) -> Millivolts { self.m } }";
+        assert!(run(src_ok, &FileContext::lib("selfheal")).is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_next_line() {
+        let src = "// analyzer: allow(unwrap-in-lib)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(run(src, &FileContext::lib("selfheal-bti")).is_empty());
+    }
+
+    #[test]
+    fn test_targets_skip_ordering_and_literal_lints() {
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().copied().fold(f64::MIN, f64::max) }";
+        assert!(run(src, &FileContext::test_target("selfheal-repro")).is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! CLI for the selfheal-analyzer static-analysis gate.
+//!
+//! ```text
+//! selfheal-analyzer check [--json] [--baseline <file>] [--update-baseline] [--root <dir>]
+//! selfheal-analyzer lints
+//! ```
+//!
+//! Exit codes: 0 = clean (all findings baselined), 1 = new findings,
+//! 2 = usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use selfheal_analyzer::{analyze_workspace, baseline, findings, walk, ALL_LINTS};
+
+const USAGE: &str = "\
+selfheal-analyzer — domain-aware static analysis for the self-healing workspace
+
+USAGE:
+    selfheal-analyzer check [--json] [--baseline <file>] [--update-baseline] [--root <dir>]
+    selfheal-analyzer lints
+    selfheal-analyzer --version
+
+OPTIONS:
+    --json               emit a machine-readable JSON report
+    --baseline <file>    ratchet file (default: <root>/analyzer-baseline.txt)
+    --update-baseline    rewrite the baseline to match current findings
+    --root <dir>         workspace root (default: walk up from cwd)
+";
+
+struct Options {
+    json: bool,
+    update_baseline: bool,
+    baseline: Option<PathBuf>,
+    root: Option<PathBuf>,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match command.as_str() {
+        "check" => {
+            let mut opts = Options {
+                json: false,
+                update_baseline: false,
+                baseline: None,
+                root: None,
+            };
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--json" => opts.json = true,
+                    "--update-baseline" => opts.update_baseline = true,
+                    "--baseline" => match args.next() {
+                        Some(path) => opts.baseline = Some(PathBuf::from(path)),
+                        None => return usage_error("--baseline needs a file argument"),
+                    },
+                    "--root" => match args.next() {
+                        Some(path) => opts.root = Some(PathBuf::from(path)),
+                        None => return usage_error("--root needs a directory argument"),
+                    },
+                    other => return usage_error(&format!("unknown option `{other}`")),
+                }
+            }
+            check(&opts)
+        }
+        "lints" => {
+            for lint in ALL_LINTS {
+                println!("{:<28} {:<8} {}", lint.id(), lint.severity().to_string(), lint.describe());
+            }
+            ExitCode::SUCCESS
+        }
+        "--version" | "-V" => {
+            println!("selfheal-analyzer {}", selfheal_analyzer::version());
+            ExitCode::SUCCESS
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => usage_error(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}\n");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn check(opts: &Options) -> ExitCode {
+    let root = match &opts.root {
+        Some(root) => root.clone(),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match walk::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("error: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let all = match analyze_workspace(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("error: failed to analyze workspace: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("analyzer-baseline.txt"));
+    let accepted = match load_baseline(&baseline_path, opts.baseline.is_some()) {
+        Ok(map) => map,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let current = baseline::summarize(&all);
+
+    if opts.update_baseline {
+        let rendered = baseline::render(&current);
+        if let Err(err) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("error: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "analyzer: baseline updated ({} findings across {} (lint, file) pairs) -> {}",
+            all.len(),
+            current.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let verdict = baseline::check(&current, &accepted);
+    // Stale entries fail the gate too, matching `tests/analyzer_gate.rs`:
+    // the ratchet is one-way, so improvements must be locked in.
+    let gate_fails = !verdict.regressions.is_empty() || !verdict.stale.is_empty();
+
+    if opts.json {
+        print!("{}", findings::render_json(&all, verdict.baselined));
+    } else {
+        report_text(&all, &verdict);
+    }
+
+    if gate_fails {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Loads the baseline; a missing default file is an empty baseline, a
+/// missing explicitly-requested file is an error.
+fn load_baseline(path: &Path, explicit: bool) -> Result<baseline::Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound && !explicit => {
+            Ok(baseline::Baseline::new())
+        }
+        Err(err) => Err(format!("cannot read {}: {err}", path.display())),
+    }
+}
+
+fn report_text(all: &[selfheal_analyzer::Finding], verdict: &baseline::Verdict) {
+    // Print findings for any (lint, file) pair that regressed; fully
+    // baselined pairs stay quiet to keep the signal readable.
+    let mut shown = 0usize;
+    for f in all {
+        let over_budget = verdict
+            .regressions
+            .iter()
+            .any(|(lint, file, ..)| lint == f.lint.id() && *file == f.file.display().to_string());
+        if over_budget {
+            println!("{}", f.render_text());
+            shown += 1;
+        }
+    }
+    if shown > 0 {
+        println!();
+    }
+    for (lint, file, current, allowed) in &verdict.regressions {
+        println!("regression: {lint} in {file}: {current} findings, baseline allows {allowed}");
+    }
+    for (lint, file, current, allowed) in &verdict.stale {
+        println!(
+            "stale baseline: {lint} in {file}: baseline allows {allowed} but only {current} remain \
+             (re-run with --update-baseline to ratchet down)"
+        );
+    }
+    println!(
+        "analyzer: {} findings ({} baselined, {} new)",
+        all.len(),
+        verdict.baselined,
+        all.len() - verdict.baselined,
+    );
+    if !verdict.regressions.is_empty() {
+        println!("analyzer: gate FAILED — fix the findings or extend the baseline deliberately");
+    } else if verdict.stale.is_empty() {
+        println!("analyzer: gate clean");
+    } else {
+        println!("analyzer: gate FAILED — baseline is stale, ratchet it down with --update-baseline");
+    }
+}

@@ -1,0 +1,485 @@
+//! Token-level scope and signature utilities shared by the lints:
+//! `#[cfg(test)]` region masking and `pub fn` signature parsing.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Returns a mask over `tokens`: `true` where the token lies inside a
+/// `#[cfg(test)] mod`, a `#[cfg(test)]`-gated item, or a `#[test]` fn.
+///
+/// Detection is structural, not semantic: an attribute whose idents
+/// include both `cfg` and `test` (or exactly `test`) marks the next
+/// item, and the item's `{ ... }` body is resolved by brace matching.
+#[must_use]
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_idents, after_attr) = read_attr(tokens, i + 1);
+            let is_test_cfg = attr_idents.iter().any(|s| s == "cfg")
+                && attr_idents.iter().any(|s| s == "test");
+            let is_test_attr = attr_idents.first().is_some_and(|s| s == "test")
+                && attr_idents.len() == 1;
+            if is_test_cfg || is_test_attr {
+                // Skip any further attributes between this one and the item.
+                let mut j = after_attr;
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    j = read_attr(tokens, j + 1).1;
+                }
+                let end = item_end(tokens, j);
+                for slot in mask.iter_mut().take(end).skip(i) {
+                    *slot = true;
+                }
+                i = end;
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Reads an attribute starting at its `[` token; returns the idents it
+/// contains and the index just past the matching `]`.
+fn read_attr(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (idents, i + 1);
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents.push(t.text.clone());
+        }
+        i += 1;
+    }
+    (idents, tokens.len())
+}
+
+/// Finds the end (exclusive token index) of the item starting at `start`:
+/// either just past the `;` of a declaration or just past the matching
+/// `}` of its body.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Find the first `{` or `;` at angle/paren depth irrelevant — a `;`
+    // before any `{` means a body-less item.
+    while i < tokens.len() {
+        if tokens[i].is_punct(';') {
+            return i + 1;
+        }
+        if tokens[i].is_punct('{') {
+            break;
+        }
+        i += 1;
+    }
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// How a method binds `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelfKind {
+    /// No `self` — a free function or associated constructor.
+    None,
+    /// `self` or `mut self` by value.
+    Value,
+    /// `&self` (possibly with a lifetime).
+    Ref,
+    /// `&mut self`.
+    RefMut,
+}
+
+/// One non-`self` parameter of a parsed signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The binding name (pattern parameters record the last ident).
+    pub name: String,
+    /// The type, rendered as space-joined token texts (e.g. `f64`,
+    /// `& [ f64 ]`, `Option < f64 >`).
+    pub ty: String,
+    /// Source line of the parameter name.
+    pub line: u32,
+}
+
+/// A parsed `pub fn` signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// The function name.
+    pub name: String,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+    /// Idents appearing in the attributes attached to this fn.
+    pub attr_idents: Vec<String>,
+    /// How the function binds `self`.
+    pub self_kind: SelfKind,
+    /// The non-`self` parameters in order.
+    pub params: Vec<Param>,
+    /// Return type as token texts (`f64`, `Option < Volts >`); empty
+    /// for `()`-returning functions.
+    pub ret: Vec<String>,
+    /// True when the fn lies inside a `#[cfg(test)]` region.
+    pub in_test_region: bool,
+}
+
+/// Parses every `pub fn` signature in the token stream.
+///
+/// Visibility modifiers `pub(crate)`, `pub(super)` etc. count as `pub`
+/// here; the unit-safety lints care about any API a reviewer can call
+/// from outside the defining module.
+#[must_use]
+pub fn parse_pub_fns(tokens: &[Token], test_mask: &[bool]) -> Vec<FnSig> {
+    let mut sigs = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        let pub_idx = i;
+        let mut j = i + 1;
+        // pub(crate) / pub(in path)
+        if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') {
+                    depth += 1;
+                } else if tokens[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Qualifiers before `fn`.
+        while tokens.get(j).is_some_and(|t| {
+            t.is_ident("const") || t.is_ident("async") || t.is_ident("unsafe") || t.is_ident("extern")
+        }) || tokens.get(j).is_some_and(|t| t.kind == TokenKind::Literal)
+        {
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let fn_idx = j;
+        let Some(name_tok) = tokens.get(j + 1) else {
+            break;
+        };
+        let name = name_tok.text.clone();
+        j += 2;
+        // Generics.
+        if tokens.get(j).is_some_and(|t| t.is_punct('<')) {
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_punct('<') {
+                    angle += 1;
+                } else if tokens[j].is_punct('>') {
+                    // A `->` cannot appear inside a generics list.
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            i = j;
+            continue;
+        }
+        let (self_kind, params, after_params) = parse_params(tokens, j);
+        j = after_params;
+        // Return type.
+        let mut ret = Vec::new();
+        if tokens.get(j).is_some_and(|t| t.is_punct('-'))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('>'))
+        {
+            j += 2;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                    break;
+                }
+                ret.push(t.text.clone());
+                j += 1;
+            }
+        }
+        sigs.push(FnSig {
+            name,
+            line: tokens[fn_idx].line,
+            attr_idents: attrs_before(tokens, pub_idx),
+            self_kind,
+            params,
+            ret,
+            in_test_region: test_mask.get(fn_idx).copied().unwrap_or(false),
+        });
+        i = j.max(i + 1);
+    }
+    sigs
+}
+
+/// Parses the parenthesised parameter list starting at the `(` token at
+/// `open`. Returns the `self` kind, the non-`self` parameters, and the
+/// index just past the matching `)`.
+fn parse_params(tokens: &[Token], open: usize) -> (SelfKind, Vec<Param>, usize) {
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut end = open;
+    let mut boundaries = vec![open];
+    while end < tokens.len() {
+        let t = &tokens[end];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_punct('<') && depth == 1 {
+            angle += 1;
+        } else if t.is_punct('>') && depth == 1 && angle > 0 {
+            // Ignore the `>` of `->` (always preceded by `-`).
+            if !tokens.get(end - 1).is_some_and(|p| p.is_punct('-')) {
+                angle -= 1;
+            }
+        } else if t.is_punct(',') && depth == 1 && angle == 0 {
+            boundaries.push(end);
+        }
+        end += 1;
+    }
+    boundaries.push(end.min(tokens.len()));
+
+    let mut self_kind = SelfKind::None;
+    let mut params = Vec::new();
+    for pair in boundaries.windows(2) {
+        let slice = &tokens[(pair[0] + 1).min(pair[1])..pair[1]];
+        if slice.is_empty() {
+            continue;
+        }
+        if let Some(kind) = self_param_kind(slice) {
+            self_kind = kind;
+            continue;
+        }
+        // Name: the ident immediately before the first top-level `:`
+        // (skipping a `mut` qualifier is implicit — `mut x : T` still
+        // has `x` right before the colon).
+        let mut colon = None;
+        let mut a = 0i32;
+        for (k, t) in slice.iter().enumerate() {
+            if t.is_punct('<') {
+                a += 1;
+            } else if t.is_punct('>') && a > 0 {
+                a -= 1;
+            } else if t.is_punct(':') && a == 0 {
+                // `::` is two colon tokens; require the next not to be `:`
+                // and the previous not to be `:`.
+                let prev_colon = k > 0 && slice[k - 1].is_punct(':');
+                let next_colon = slice.get(k + 1).is_some_and(|t| t.is_punct(':'));
+                if !prev_colon && !next_colon {
+                    colon = Some(k);
+                    break;
+                }
+            }
+        }
+        let Some(colon) = colon else { continue };
+        let Some(name_tok) = slice[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokenKind::Ident)
+        else {
+            continue;
+        };
+        let ty = slice[colon + 1..]
+            .iter()
+            .map(|t| if t.text.is_empty() { "\"\"".to_string() } else { t.text.clone() })
+            .collect::<Vec<_>>()
+            .join(" ");
+        params.push(Param {
+            name: name_tok.text.clone(),
+            ty,
+            line: name_tok.line,
+        });
+    }
+    (self_kind, params, end + 1)
+}
+
+/// Classifies a parameter slice as a `self` parameter, if it is one.
+fn self_param_kind(slice: &[Token]) -> Option<SelfKind> {
+    let mut k = 0;
+    let by_ref = slice.get(k).is_some_and(|t| t.is_punct('&'));
+    if by_ref {
+        k += 1;
+        if slice.get(k).is_some_and(|t| t.kind == TokenKind::Lifetime) {
+            k += 1;
+        }
+    }
+    let is_mut = slice.get(k).is_some_and(|t| t.is_ident("mut"));
+    if is_mut {
+        k += 1;
+    }
+    if slice.get(k).is_some_and(|t| t.is_ident("self")) && slice.len() == k + 1 {
+        Some(match (by_ref, is_mut) {
+            (true, true) => SelfKind::RefMut,
+            (true, false) => SelfKind::Ref,
+            (false, _) => SelfKind::Value,
+        })
+    } else {
+        None
+    }
+}
+
+/// Collects idents from the contiguous run of attributes immediately
+/// preceding token index `at` (e.g. `#[must_use]`, `#[inline]`).
+fn attrs_before(tokens: &[Token], at: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut end = at;
+    while end >= 2 && tokens[end - 1].is_punct(']') {
+        // Walk back to the matching `[`.
+        let mut depth = 0i32;
+        let mut k = end - 1;
+        loop {
+            if tokens[k].is_punct(']') {
+                depth += 1;
+            } else if tokens[k].is_punct('[') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if k == 0 {
+                return idents;
+            }
+            k -= 1;
+        }
+        if k == 0 || !tokens[k - 1].is_punct('#') {
+            break;
+        }
+        for t in &tokens[k..end - 1] {
+            if t.kind == TokenKind::Ident {
+                idents.push(t.text.clone());
+            }
+        }
+        end = k - 1;
+    }
+    idents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sigs(src: &str) -> Vec<FnSig> {
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        parse_pub_fns(&lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn simple_signature_parses() {
+        let s = sigs("pub fn stress(vdd_volts: f64, temp_c: f64) -> f64 { 0.0 }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "stress");
+        assert_eq!(s[0].self_kind, SelfKind::None);
+        assert_eq!(s[0].params.len(), 2);
+        assert_eq!(s[0].params[0].name, "vdd_volts");
+        assert_eq!(s[0].params[0].ty, "f64");
+        assert_eq!(s[0].ret, vec!["f64"]);
+    }
+
+    #[test]
+    fn self_and_generics_and_option_types() {
+        let s = sigs(
+            "impl X { pub fn delay_at<T: Into<usize>>(&self, loc: T) -> Option<Nanoseconds> { None } }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].self_kind, SelfKind::Ref);
+        assert_eq!(s[0].params.len(), 1);
+        assert_eq!(s[0].params[0].ty, "T");
+        assert_eq!(s[0].ret, vec!["Option", "<", "Nanoseconds", ">"]);
+    }
+
+    #[test]
+    fn attrs_are_attached() {
+        let s = sigs("#[must_use]\n#[inline]\npub fn margin(&self) -> Millivolts { m }");
+        assert_eq!(s.len(), 1);
+        assert!(s[0].attr_idents.iter().any(|a| a == "must_use"));
+        assert!(s[0].attr_idents.iter().any(|a| a == "inline"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = r"
+            pub fn live(x: f64) -> f64 { x }
+            #[cfg(test)]
+            mod tests {
+                pub fn helper(vdd: f64) -> f64 { vdd }
+            }
+        ";
+        let s = sigs(src);
+        assert_eq!(s.len(), 2);
+        assert!(!s[0].in_test_region);
+        assert!(s[1].in_test_region);
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let src = "#[test]\nfn check() { helper(); }\npub fn after(x: f64) {}";
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        let helper = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("helper"))
+            .unwrap();
+        let after = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .unwrap();
+        assert!(mask[helper]);
+        assert!(!mask[after]);
+    }
+
+    #[test]
+    fn fn_pointer_params_do_not_confuse_the_splitter() {
+        let s = sigs("pub fn apply(f: impl Fn(f64, f64) -> f64, seed_secs: f64) -> f64 { 0.0 }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].params.len(), 2);
+        assert_eq!(s[0].params[1].name, "seed_secs");
+        assert_eq!(s[0].params[1].ty, "f64");
+    }
+
+    #[test]
+    fn pub_crate_counts_as_pub() {
+        let s = sigs("pub(crate) fn freq_mhz(&self) -> f64 { 0.0 }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].name, "freq_mhz");
+    }
+}

@@ -1,0 +1,38 @@
+//! Fixture for the `bare-physical-f64` lint. Offending lines carry a
+//! `//~ <lint-id>` marker; unmarked lines are deliberate true negatives.
+
+pub struct Regulator {
+    setpoint_mv: f64,
+}
+
+impl Regulator {
+    pub fn program(&mut self, vdd_volts: f64) { //~ bare-physical-f64
+        self.setpoint_mv = 1000.0 * vdd_volts;
+    }
+
+    pub fn margin_mv(&self) -> f64 { //~ bare-physical-f64
+        self.setpoint_mv
+    }
+}
+
+pub fn schedule(temp_celsius: f64, weight: f64) -> f64 { //~ bare-physical-f64
+    temp_celsius * weight
+}
+
+// True negative: private functions are not part of the API contract.
+fn helper(vdd_volts: f64) -> f64 {
+    vdd_volts
+}
+
+// True negative: the typed signature this lint pushes toward.
+pub fn plan(vdd: Volts, temp: Celsius) -> Millivolts {
+    Millivolts::new(vdd.get() * temp.get())
+}
+
+#[cfg(test)]
+mod tests {
+    // True negative: test-region signatures are exempt.
+    pub fn stress(vdd_volts: f64) -> f64 {
+        vdd_volts
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture for the `missing-must-use` lint. Offending lines carry a
+//! `//~ <lint-id>` marker; unmarked lines are deliberate true negatives.
+
+pub struct Sensor {
+    last: Millivolts,
+}
+
+impl Sensor {
+    pub fn last_reading(&self) -> Millivolts { //~ missing-must-use
+        self.last
+    }
+
+    pub fn into_reading(self) -> Millivolts { //~ missing-must-use
+        self.last
+    }
+
+    // True negative: already annotated.
+    #[must_use]
+    pub fn calibrated(&self) -> Millivolts {
+        self.last
+    }
+
+    // True negative: `&mut self` methods may be called for their effect.
+    pub fn drain(&mut self) -> Millivolts {
+        self.last
+    }
+
+    // True negative: non-unit return types are out of scope.
+    pub fn label(&self) -> String {
+        String::new()
+    }
+}
+
+// True negative: free functions take no `self`.
+pub fn convert(reading: Millivolts) -> Millivolts {
+    reading
+}

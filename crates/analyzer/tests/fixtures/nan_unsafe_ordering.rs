@@ -1,0 +1,41 @@
+//! Fixture for the `nan-unsafe-ordering` lint. Offending lines carry a
+//! `//~ <lint-id>` marker; unmarked lines are deliberate true negatives.
+
+pub fn sort_scores(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ nan-unsafe-ordering
+}
+
+pub fn best(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::MIN, f64::max) //~ nan-unsafe-ordering
+}
+
+pub fn worst(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::MAX, f64::min) //~ nan-unsafe-ordering
+}
+
+pub fn silently_misordered(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); //~ nan-unsafe-ordering
+}
+
+pub fn clamped(x: f64) -> f64 {
+    // True negative: a direct call chooses its NaN handling explicitly.
+    f64::max(x, 0.0)
+}
+
+pub fn ordered(a: f64, b: f64) -> std::cmp::Ordering {
+    // True negative: total ordering is what the lint asks for.
+    a.total_cmp(&b)
+}
+
+pub fn sorted(xs: &mut Vec<f64>) {
+    // True negative: NaN-total sort.
+    xs.sort_by(f64::total_cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    // True negative: test regions are exempt from the ordering lints.
+    pub fn sloppy(xs: &mut Vec<f64>) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture for the `suspicious-physical-literal` lint. Offending lines
+//! carry a `//~ <lint-id>` marker; unmarked lines are true negatives.
+
+fn main() {
+    let nominal = Volts::new(1.2);
+    let chamber = Celsius::new(110.0);
+    let reverse = Volts::new(-0.3);
+    let cold_spec = Celsius::new(-55.0);
+    let wallwart = Volts::new(12.0); //~ suspicious-physical-literal
+    let nitrogen = Celsius::new(-196.0); //~ suspicious-physical-literal
+    let molten = Celsius::new(400.0); //~ suspicious-physical-literal
+    let reversed_rail = Volts::new(-5.0); //~ suspicious-physical-literal
+    // analyzer: allow(suspicious-physical-literal)
+    let chamber_capability = Celsius::new(180.0);
+    let computed = Volts::new(2.0 * 0.6);
+    let from_variable = Volts::new(nominal_vdd);
+}

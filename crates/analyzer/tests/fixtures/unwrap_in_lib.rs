@@ -1,0 +1,32 @@
+//! Fixture for the `unwrap-in-lib` lint. Offending lines carry a
+//! `//~ <lint-id>` marker; unmarked lines are deliberate true negatives.
+
+pub fn parse_count(text: &str) -> usize {
+    text.trim().parse().unwrap() //~ unwrap-in-lib
+}
+
+pub fn first_key(map: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    *map.keys().next().expect("map must not be empty") //~ unwrap-in-lib
+}
+
+pub fn documented_invariant(xs: &[f64]) -> f64 {
+    // True negative: pattern-match + explicit panic documents the invariant.
+    match xs.first() {
+        Some(first) => *first,
+        None => panic!("caller guarantees a non-empty slice"),
+    }
+}
+
+pub fn tolerated(text: &str) -> usize {
+    // analyzer: allow(unwrap-in-lib)
+    text.len().checked_mul(2).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // True negative: unwrap in tests is idiomatic.
+    pub fn assert_roundtrip(text: &str) {
+        let n: usize = text.parse().unwrap();
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixture-driven lint tests.
+//!
+//! Each fixture under `tests/fixtures/` marks every line the analyzer
+//! must flag with a trailing `//~ <lint-id>` comment; every unmarked
+//! line is a deliberate true negative. The tests demand an *exact*
+//! match between markers and findings — same lints, same lines, no
+//! extras — so both false negatives and false positives fail loudly.
+//!
+//! The fixtures live in a subdirectory of `tests/`, which the workspace
+//! walker never descends into, so they are invisible to `cargo analyzer
+//! check` and never compiled by cargo.
+
+use std::path::Path;
+
+use selfheal_analyzer::{analyze_source, FileContext, Lint};
+
+/// Extracts `(lint-id, line)` expectations from `//~` markers. Marker
+/// text that is not a real lint id (e.g. the doc-comment explaining the
+/// convention) is ignored.
+fn expectations(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~ ") {
+            let id = line[pos + 4..].split_whitespace().next().unwrap_or("");
+            if Lint::from_id(id).is_some() {
+                out.push((id.to_string(), (i + 1) as u32));
+            }
+        }
+    }
+    out
+}
+
+fn check(fixture_name: &str, src: &str, ctx: &FileContext) {
+    let findings = analyze_source(Path::new(fixture_name), src, ctx);
+    let actual: Vec<(String, u32)> = findings
+        .iter()
+        .map(|f| (f.lint.id().to_string(), f.line))
+        .collect();
+    assert_eq!(
+        actual,
+        expectations(src),
+        "fixture {fixture_name}: findings (left) must match //~ markers (right)\n{}",
+        findings
+            .iter()
+            .map(selfheal_analyzer::Finding::render_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn bare_physical_f64_fixture() {
+    check(
+        "bare_physical_f64.rs",
+        include_str!("fixtures/bare_physical_f64.rs"),
+        &FileContext::lib("selfheal"),
+    );
+}
+
+#[test]
+fn nan_unsafe_ordering_fixture() {
+    check(
+        "nan_unsafe_ordering.rs",
+        include_str!("fixtures/nan_unsafe_ordering.rs"),
+        &FileContext::lib("selfheal-multicore"),
+    );
+}
+
+#[test]
+fn unwrap_in_lib_fixture() {
+    check(
+        "unwrap_in_lib.rs",
+        include_str!("fixtures/unwrap_in_lib.rs"),
+        &FileContext::lib("selfheal-bti"),
+    );
+}
+
+#[test]
+fn suspicious_physical_literal_fixture() {
+    check(
+        "suspicious_physical_literal.rs",
+        include_str!("fixtures/suspicious_physical_literal.rs"),
+        &FileContext::example("selfheal"),
+    );
+}
+
+#[test]
+fn missing_must_use_fixture() {
+    check(
+        "missing_must_use.rs",
+        include_str!("fixtures/missing_must_use.rs"),
+        &FileContext::lib("selfheal-fpga"),
+    );
+}
+
+#[test]
+fn unwrap_gating_is_per_crate() {
+    // The same unwrap-laden source is clean in a crate outside the
+    // gated set (e.g. the bench plumbing) — the lint is a model-code
+    // policy, not a blanket ban.
+    let src = include_str!("fixtures/unwrap_in_lib.rs");
+    let findings = analyze_source(
+        Path::new("unwrap_in_lib.rs"),
+        src,
+        &FileContext::lib("selfheal-bench"),
+    );
+    assert!(
+        findings.is_empty(),
+        "ungated crate must not report unwrap-in-lib: {findings:?}"
+    );
+}
+
+#[test]
+fn test_targets_are_exempt_from_code_lints() {
+    // A test target gets no findings at all from the ordering or
+    // literal lints, even for blatant patterns.
+    let src = include_str!("fixtures/nan_unsafe_ordering.rs");
+    let findings = analyze_source(
+        Path::new("nan_unsafe_ordering.rs"),
+        src,
+        &FileContext::test_target("selfheal-multicore"),
+    );
+    assert!(findings.is_empty(), "test targets are exempt: {findings:?}");
+}

@@ -13,7 +13,7 @@ use selfheal::{RejuvenationTechnique, SchedulePlanner};
 use selfheal_bench::{fmt, Table};
 use selfheal_bti::Environment;
 use selfheal_fpga::{Chip, ChipId, RoMode};
-use selfheal_units::{Celsius, Hours, Ratio, Seconds, Volts};
+use selfheal_units::{Celsius, Hours, Millivolts, Ratio, Seconds, Volts};
 
 fn main() {
     println!("Ablation: the active-vs-sleep ratio alpha\n");
@@ -46,7 +46,7 @@ fn main() {
     println!("\nYear-long steady state (24 h period, 90 degC operation):\n");
     let planner = SchedulePlanner::with_default_models(
         Environment::new(Volts::new(1.2), Celsius::new(90.0)),
-        1e9, // margin irrelevant here; we only use predicted_peak
+        Millivolts::new(1e9), // margin irrelevant here; we only use predicted_peak
     );
     let year = Seconds::new(365.0 * 86_400.0);
     let period: Seconds = Hours::new(24.0).into();

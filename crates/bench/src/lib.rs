@@ -10,9 +10,12 @@
 //! the authors' chamber + chips); the *shapes* are: who wins, by what
 //! rough factor, and where the curves bend.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 
 use selfheal::experiment::{ExperimentOutputs, PaperExperiment};
+use selfheal_units::float;
 
 /// The seed all figure binaries share, so every artefact is drawn from
 /// the same simulated chip population.
@@ -132,8 +135,9 @@ pub fn sparkline(values: &[f64]) -> String {
     if values.is_empty() {
         return String::new();
     }
-    let max = values.iter().cloned().fold(f64::MIN, f64::max);
-    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    // `values` is non-empty here, so the reductions always yield a value.
+    let max = float::max_of(values.iter().copied()).unwrap_or(0.0);
+    let min = float::min_of(values.iter().copied()).unwrap_or(0.0);
     let span = (max - min).max(1e-12);
     values
         .iter()

@@ -1,7 +1,7 @@
 //! Eq. (3)/(4): first-order accelerated recovery.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::{Fraction, Millivolts, Seconds, BOLTZMANN_EV_PER_K};
+use selfheal_units::{ElectronVolts, Fraction, Millivolts, Seconds};
 
 use crate::condition::Environment;
 use crate::constants::ACTIVATION_ENERGY_EMISSION_EV;
@@ -54,8 +54,8 @@ pub struct RecoveryModel {
     pub base_gain: f64,
     /// `bV` (1/V): gain added per volt of reverse bias.
     pub voltage_gain_per_volt: f64,
-    /// Activation energy (eV) of the thermal gain term.
-    pub thermal_activation_ev: f64,
+    /// Activation energy of the thermal gain term.
+    pub thermal_activation: ElectronVolts,
 }
 
 impl Default for RecoveryModel {
@@ -69,7 +69,7 @@ impl Default for RecoveryModel {
             log_rate_per_s: 2e-2,
             base_gain: 0.6,
             voltage_gain_per_volt: 14.0 / 3.0,
-            thermal_activation_ev: ACTIVATION_ENERGY_EMISSION_EV,
+            thermal_activation: ElectronVolts::new(ACTIVATION_ENERGY_EMISSION_EV),
         }
     }
 }
@@ -80,8 +80,10 @@ impl RecoveryModel {
     #[must_use]
     pub fn phi(&self, env: Environment) -> f64 {
         let t20 = selfheal_units::Celsius::new(20.0).to_kelvin();
-        let g_thermal = self.thermal_activation_ev / BOLTZMANN_EV_PER_K
-            * (1.0 / t20.get() - 1.0 / env.temperature().get());
+        // E0/k·(1/T20 − 1/Tr) is the log of a Boltzmann-factor ratio.
+        let g_thermal = (self.thermal_activation.boltzmann_factor(env.temperature())
+            / self.thermal_activation.boltzmann_factor(t20))
+        .ln();
         let g_voltage = self.voltage_gain_per_volt * (-env.supply().get()).max(0.0);
         let total = (self.base_gain + g_voltage + g_thermal).max(0.0);
         1.0 - (-total).exp()

@@ -1,9 +1,7 @@
 //! Eq. (1)/(2): first-order wearout under stress.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::{Millivolts, Seconds};
-
-use selfheal_units::BOLTZMANN_EV_PER_K;
+use selfheal_units::{ElectronVolts, Millivolts, Seconds};
 
 use crate::condition::{DeviceCondition, Environment};
 use crate::constants::{reference_stress_voltage, reference_temperature};
@@ -16,7 +14,7 @@ use crate::constants::{reference_stress_voltage, reference_temperature};
 /// ```
 ///
 /// `φs` is normalised to `1` at the reference condition (110 °C, 1.2 V),
-/// so `amplitude_mv` is directly the log-slope scale of the headline
+/// so `amplitude` is directly the log-slope scale of the headline
 /// accelerated-stress experiments. The paper treats `A` and `C` as
 /// "approximately constant" fitting parameters — exactly how they are used
 /// here and in `selfheal::fitting`.
@@ -36,17 +34,17 @@ use crate::constants::{reference_stress_voltage, reference_temperature};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StressModel {
-    /// `A` (mV): overall magnitude at the reference condition.
-    pub amplitude_mv: f64,
+    /// `A`: overall magnitude at the reference condition.
+    pub amplitude: Millivolts,
     /// `Cs` (1/s): sets where the log ramp begins.
     pub log_rate_per_s: f64,
     /// Fraction of newly inflicted shift that is irreversible.
     pub permanent_fraction: f64,
-    /// *Effective* activation energy (eV) of the measured degradation
+    /// *Effective* activation energy of the measured degradation
     /// amplitude. Smaller than the microscopic capture barrier because the
     /// log-time trap dynamics compress rate changes into small amplitude
     /// changes; 0.25 eV reproduces the modest Fig. 5 temperature gap.
-    pub thermal_activation_ev: f64,
+    pub thermal_activation: ElectronVolts,
     /// Effective voltage acceleration of the amplitude, in 1/V.
     pub voltage_gain_per_volt: f64,
 }
@@ -56,10 +54,10 @@ impl Default for StressModel {
     /// stochastic engine's defaults and the paper's ≈ 2.3 % delay shift.
     fn default() -> Self {
         StressModel {
-            amplitude_mv: 5.6,
+            amplitude: Millivolts::new(5.6),
             log_rate_per_s: 1e-2,
             permanent_fraction: 0.05,
-            thermal_activation_ev: 0.25,
+            thermal_activation: ElectronVolts::new(0.25),
             voltage_gain_per_volt: 2.5,
         }
     }
@@ -75,10 +73,10 @@ impl StressModel {
     /// 110 °C / 1.2 V.
     #[must_use]
     pub fn phi(&self, env: Environment) -> f64 {
-        let t_ref = reference_temperature();
-        let thermal = (self.thermal_activation_ev / BOLTZMANN_EV_PER_K
-            * (1.0 / t_ref.get() - 1.0 / env.temperature().get()))
-        .exp();
+        // exp(E0/k·(1/Tref − 1/T)) expressed as a ratio of Boltzmann
+        // factors, so the activation energy carries its eV dimension.
+        let thermal = self.thermal_activation.boltzmann_factor(env.temperature())
+            / self.thermal_activation.boltzmann_factor(reference_temperature());
         let dv = env.supply() - reference_stress_voltage();
         thermal * (self.voltage_gain_per_volt * dv.get()).exp()
     }
@@ -88,7 +86,7 @@ impl StressModel {
     #[must_use]
     pub fn delta_vth(&self, t: Seconds, env: Environment) -> Millivolts {
         let t = t.get().max(0.0);
-        Millivolts::new(self.amplitude_mv * self.phi(env) * (1.0 + self.log_rate_per_s * t).ln())
+        Millivolts::new(self.amplitude.get() * self.phi(env) * (1.0 + self.log_rate_per_s * t).ln())
     }
 
     /// Threshold shift under an arbitrary duty cycle: the paper's AC mode
@@ -122,7 +120,7 @@ impl StressModel {
         if d <= 0.0 {
             return Seconds::ZERO;
         }
-        let x = d / (self.amplitude_mv * self.phi(env));
+        let x = d / (self.amplitude.get() * self.phi(env));
         Seconds::new((x.exp() - 1.0) / self.log_rate_per_s)
     }
 
@@ -138,7 +136,7 @@ impl StressModel {
             return Seconds::ZERO;
         }
         let relief = duty.powf(Self::AC_RELIEF_EXPONENT);
-        let x = d / (relief * self.amplitude_mv * self.phi(cond.env()));
+        let x = d / (relief * self.amplitude.get() * self.phi(cond.env()));
         Seconds::new((x.exp() - 1.0) / (self.log_rate_per_s * duty))
     }
 }

@@ -59,10 +59,13 @@ impl TrapEnsembleParams {
     /// Returns `Err` if any range is inverted, the trap count or ΔVth mean
     /// is non-positive, or the permanent fraction lies outside `[0, 1]`.
     pub fn validate(&self) -> Result<(), String> {
-        if self.mean_trap_count.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        // Written to reject NaN explicitly: `NaN > 0.0` is false, so the
+        // comparison alone would already fail it, but the is_nan() check
+        // makes the intent auditable and the error message precise.
+        if self.mean_trap_count.is_nan() || self.mean_trap_count <= 0.0 {
             return Err(format!("mean trap count must be positive, got {}", self.mean_trap_count));
         }
-        if self.delta_vth_mean_mv.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        if self.delta_vth_mean_mv.is_nan() || self.delta_vth_mean_mv <= 0.0 {
             return Err(format!("ΔVth mean must be positive, got {}", self.delta_vth_mean_mv));
         }
         if self.log10_tau_c_range.0 >= self.log10_tau_c_range.1 {
@@ -101,7 +104,9 @@ impl TrapEnsemble {
     /// physics parameters are a programming error, not a runtime condition.
     #[must_use]
     pub fn sample<R: Rng + ?Sized>(params: &TrapEnsembleParams, rng: &mut R) -> Self {
-        params.validate().expect("invalid trap ensemble parameters");
+        if let Err(problem) = params.validate() {
+            panic!("invalid trap ensemble parameters: {problem}");
+        }
         let count = sample_poisson(params.mean_trap_count, rng);
         let traps = (0..count)
             .map(|_| {
@@ -390,6 +395,14 @@ mod tests {
 
         let mut bad = good.clone();
         bad.mean_trap_count = 0.0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = good.clone();
+        bad.mean_trap_count = f64::NAN;
+        assert!(bad.validate().is_err(), "NaN must be rejected, not pass silently");
+
+        let mut bad = good.clone();
+        bad.delta_vth_mean_mv = f64::NAN;
         assert!(bad.validate().is_err());
 
         let mut bad = good.clone();

@@ -165,9 +165,9 @@ impl PaperExperiment {
 
             // Burn-in baseline (§4.4).
             let burn_in = PhaseSpec::burn_in();
-            harness
-                .run_phase(&burn_in, &mut rng)
-                .expect("burn-in spec is valid");
+            if let Err(err) = harness.run_phase(&burn_in, &mut rng) {
+                unreachable!("burn-in spec is statically valid: {err}");
+            }
 
             // This chip's Table 1 rows, in chronological order. The
             // table groups rows by phase, so chip 5 needs interleaving:
@@ -204,19 +204,15 @@ impl PaperExperiment {
                     PhaseKind::Stress { .. } => self.stress_sampling,
                     PhaseKind::Recovery { .. } => self.recovery_sampling,
                 };
-                let records = harness
-                    .run_phase(&spec, &mut rng)
-                    .expect("table-1 specs are valid");
-                let start = records
-                    .first()
-                    .expect("phases produce records")
-                    .measurement
-                    .cut_delay;
-                let end = records
-                    .last()
-                    .expect("phases produce records")
-                    .measurement
-                    .cut_delay;
+                let records = match harness.run_phase(&spec, &mut rng) {
+                    Ok(records) => records,
+                    Err(err) => unreachable!("table-1 specs are statically valid: {err}"),
+                };
+                let (Some(first), Some(last)) = (records.first(), records.last()) else {
+                    unreachable!("run_phase emits at least one record per phase");
+                };
+                let start = first.measurement.cut_delay;
+                let end = last.measurement.cut_delay;
 
                 match case.kind {
                     PhaseKind::Stress { .. } => {
@@ -239,8 +235,11 @@ impl PaperExperiment {
                     }
                     PhaseKind::Recovery { .. } => {
                         let t1 = cumulative_stress;
-                        let fresh = chip_fresh
-                            .expect("every recovery case follows a stress case on its chip");
+                        let Some(fresh) = chip_fresh else {
+                            unreachable!(
+                                "every recovery case follows a stress case on its chip"
+                            );
+                        };
                         let series = recovery_series(&records, fresh);
                         let fit = FittedRecoveryCurve::fit(
                             &series

@@ -11,7 +11,7 @@
 use serde::{Deserialize, Serialize};
 use selfheal_bti::analytic::{AnalyticBti, CycleModel, RecoveryModel, StressModel};
 use selfheal_bti::{DeviceCondition, Environment};
-use selfheal_units::{Fraction, Millivolts, Ratio, Seconds};
+use selfheal_units::{float, Fraction, Millivolts, Ratio, Seconds};
 
 use crate::technique::RejuvenationTechnique;
 
@@ -42,12 +42,12 @@ pub struct SchedulePlanner {
     stress: StressModel,
     recovery: RecoveryModel,
     active_env: Environment,
-    margin_mv: f64,
+    margin: Millivolts,
 }
 
 impl SchedulePlanner {
     /// Creates a planner for a circuit operating at `active_env` with a
-    /// total threshold-shift budget of `margin_mv`.
+    /// total threshold-shift budget of `margin`.
     ///
     /// # Panics
     ///
@@ -57,26 +57,32 @@ impl SchedulePlanner {
         stress: StressModel,
         recovery: RecoveryModel,
         active_env: Environment,
-        margin_mv: f64,
+        margin: Millivolts,
     ) -> Self {
-        assert!(margin_mv > 0.0, "margin must be positive");
+        assert!(margin.get() > 0.0, "margin must be positive");
         SchedulePlanner {
             stress,
             recovery,
             active_env,
-            margin_mv,
+            margin,
         }
     }
 
     /// A planner with the default calibrated models.
     #[must_use]
-    pub fn with_default_models(active_env: Environment, margin_mv: f64) -> Self {
+    pub fn with_default_models(active_env: Environment, margin: Millivolts) -> Self {
         SchedulePlanner::new(
             StressModel::default(),
             RecoveryModel::default(),
             active_env,
-            margin_mv,
+            margin,
         )
+    }
+
+    /// The planner's threshold-shift budget.
+    #[must_use]
+    pub fn margin(&self) -> Millivolts {
+        self.margin
     }
 
     /// Peak shift over `horizon` when running a rhythm with ratio `alpha`
@@ -96,11 +102,13 @@ impl SchedulePlanner {
             active: DeviceCondition::dc_stress(self.active_env),
             sleep: DeviceCondition::recovery(technique.environment()),
         };
-        let peak = model
-            .run_from(AnalyticBti::new(self.stress, self.recovery), cycles)
-            .into_iter()
-            .map(|s| s.delta_vth.get())
-            .fold(0.0, f64::max);
+        let peak = float::max_of(
+            model
+                .run_from(AnalyticBti::new(self.stress, self.recovery), cycles)
+                .into_iter()
+                .map(|s| s.delta_vth.get()),
+        )
+        .unwrap_or(0.0);
         Millivolts::new(peak)
     }
 
@@ -128,11 +136,11 @@ impl SchedulePlanner {
         horizon: Seconds,
     ) -> Option<RejuvenationPlan> {
         let fits = |alpha: Ratio| {
-            self.predicted_peak(alpha, technique, period, horizon).get() <= self.margin_mv
+            self.predicted_peak(alpha, technique, period, horizon).get() <= self.margin.get()
         };
 
-        let alpha_min = Ratio::new(0.5).expect("static ratio");
-        let alpha_max = Ratio::new(64.0).expect("static ratio");
+        let alpha_min = planner_alpha(0.5);
+        let alpha_max = planner_alpha(64.0);
         if !fits(alpha_min) {
             return None;
         }
@@ -145,14 +153,14 @@ impl SchedulePlanner {
         let mut s_hi = alpha_min.sleep_fraction().get(); // enough sleep
         for _ in 0..40 {
             let s_mid = 0.5 * (s_lo + s_hi);
-            let alpha = Ratio::new(1.0 / s_mid - 1.0).expect("s in (0,1)");
+            let alpha = planner_alpha(1.0 / s_mid - 1.0);
             if fits(alpha) {
                 s_hi = s_mid;
             } else {
                 s_lo = s_mid;
             }
         }
-        let alpha = Ratio::new(1.0 / s_hi - 1.0).expect("s in (0,1)");
+        let alpha = planner_alpha(1.0 / s_hi - 1.0);
         Some(self.plan_for(alpha, technique, period, horizon))
     }
 
@@ -172,6 +180,17 @@ impl SchedulePlanner {
     }
 }
 
+/// Builds a [`Ratio`] from an α value the planner derived itself.
+///
+/// The search keeps every candidate in `[0.5, 64]` with a sleep fraction
+/// strictly inside `(0, 1)`, so construction cannot fail.
+fn planner_alpha(value: f64) -> Ratio {
+    match Ratio::new(value) {
+        Some(alpha) => alpha,
+        None => unreachable!("planner-internal α must be positive and finite, got {value}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,7 +199,7 @@ mod tests {
     fn planner(margin: f64) -> SchedulePlanner {
         SchedulePlanner::with_default_models(
             Environment::new(Volts::new(1.2), Celsius::new(90.0)),
-            margin,
+            Millivolts::new(margin),
         )
     }
 

@@ -23,7 +23,7 @@ pub use reactive::ReactivePolicy;
 use serde::{Deserialize, Serialize};
 use selfheal_bti::analytic::AnalyticBti;
 use selfheal_bti::{DeviceCondition, Environment};
-use selfheal_units::{Fraction, Seconds};
+use selfheal_units::{Fraction, Millivolts, Seconds};
 
 use crate::technique::RejuvenationTechnique;
 
@@ -93,18 +93,22 @@ impl PolicyRun {
 /// whenever awake, and applying the policy's chosen technique during
 /// sleep.
 ///
-/// `margin_mv` is the threshold-shift budget in millivolts (the
-/// delay-domain margin divided by the path's β); consumption is measured
-/// against it. `step` is the polling cadence.
+/// `margin` is the threshold-shift budget (the delay-domain margin
+/// divided by the path's β); consumption is measured against it. `step`
+/// is the polling cadence.
+///
+/// # Panics
+///
+/// Panics on a non-positive margin or step.
 pub fn simulate_policy(
     policy: &mut dyn RecoveryPolicy,
     mut device: AnalyticBti,
     active_env: Environment,
-    margin_mv: f64,
+    margin: Millivolts,
     horizon: Seconds,
     step: Seconds,
 ) -> PolicyRun {
-    assert!(margin_mv > 0.0, "margin must be positive");
+    assert!(margin.get() > 0.0, "margin must be positive");
     assert!(step.get() > 0.0, "step must be positive");
 
     let mut now = Seconds::ZERO;
@@ -115,7 +119,7 @@ pub fn simulate_policy(
     let mut first_sleep_at = None;
 
     while now < horizon {
-        let consumed = Fraction::new(device.delta_vth().get() / margin_mv);
+        let consumed = Fraction::new(device.delta_vth().get() / margin.get());
         peak = peak.max(consumed.get());
         match policy.decide(now, consumed) {
             PolicyDecision::StayActive => {
@@ -141,7 +145,7 @@ pub fn simulate_policy(
         }
     }
 
-    let final_consumed = Fraction::new(device.delta_vth().get() / margin_mv);
+    let final_consumed = Fraction::new(device.delta_vth().get() / margin.get());
     PolicyRun {
         policy: policy.name().to_string(),
         horizon,
@@ -169,7 +173,7 @@ mod tests {
             policy,
             AnalyticBti::default(),
             active_env(),
-            45.0,
+            Millivolts::new(45.0),
             Seconds::new(90.0 * 24.0 * 3600.0), // 90 days
             Hours::new(6.0).into(),
         )
@@ -258,7 +262,7 @@ mod tests {
             &mut p,
             AnalyticBti::default(),
             active_env(),
-            0.0,
+            Millivolts::new(0.0),
             Seconds::new(3600.0),
             Seconds::new(60.0),
         );

@@ -8,6 +8,7 @@
 //! wobble and counter noise.
 
 use serde::{Deserialize, Serialize};
+use selfheal_units::float;
 
 use crate::experiment::PaperExperiment;
 
@@ -40,11 +41,13 @@ impl MetricStats {
         } else {
             0.0
         };
+        // NaN-aware reductions: a NaN sample surfaces as NaN min/max
+        // instead of silently vanishing from the spread.
         Some(MetricStats {
             mean,
             std_dev: var.sqrt(),
-            min: samples.iter().cloned().fold(f64::MAX, f64::min),
-            max: samples.iter().cloned().fold(f64::MIN, f64::max),
+            min: float::min_of(samples.iter().copied())?,
+            max: float::max_of(samples.iter().copied())?,
         })
     }
 
@@ -96,7 +99,10 @@ impl VariationStudy {
             let outputs =
                 PaperExperiment::quick(self.base_seed.wrapping_add(i as u64 * 7919)).run();
             for (slot, name) in relaxed.iter_mut().zip(recovery_names) {
-                slot.push(outputs.recovery(name).expect("case ran").margin_relaxed().get());
+                let Some(case) = outputs.recovery(name) else {
+                    unreachable!("campaign always runs recovery case {name}");
+                };
+                slot.push(case.margin_relaxed().get());
             }
             let dcs: Vec<f64> = outputs
                 .stresses
@@ -106,12 +112,10 @@ impl VariationStudy {
                 .collect();
             let dc_mean = dcs.iter().sum::<f64>() / dcs.len() as f64;
             dc110.push(dc_mean);
-            let ac = outputs
-                .stress("AS110AC24")
-                .expect("AC case ran")
-                .total_degradation()
-                .get();
-            ratio.push(ac / dc_mean);
+            let Some(ac_case) = outputs.stress("AS110AC24") else {
+                unreachable!("campaign always runs stress case AS110AC24");
+            };
+            ratio.push(ac_case.total_degradation().get() / dc_mean);
         }
 
         VariationStudyOutcome {
@@ -119,16 +123,20 @@ impl VariationStudy {
             margin_relaxed: recovery_names
                 .iter()
                 .zip(relaxed)
-                .map(|(name, samples)| {
-                    (
-                        (*name).to_string(),
-                        MetricStats::from_samples(&samples).expect("runs > 0"),
-                    )
-                })
+                .map(|(name, samples)| ((*name).to_string(), stats_nonempty(&samples)))
                 .collect(),
-            dc110_degradation: MetricStats::from_samples(&dc110).expect("runs > 0"),
-            ac_over_dc: MetricStats::from_samples(&ratio).expect("runs > 0"),
+            dc110_degradation: stats_nonempty(&dc110),
+            ac_over_dc: stats_nonempty(&ratio),
         }
+    }
+}
+
+/// Stats over a sample vector the study filled with one entry per run;
+/// `runs > 0` is asserted up front, so emptiness is unreachable.
+fn stats_nonempty(samples: &[f64]) -> MetricStats {
+    match MetricStats::from_samples(samples) {
+        Some(stats) => stats,
+        None => unreachable!("one sample per run and runs > 0 was asserted"),
     }
 }
 

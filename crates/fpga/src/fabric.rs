@@ -10,7 +10,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use selfheal_bti::Environment;
-use selfheal_units::{Millivolts, Nanoseconds, Seconds};
+use selfheal_units::{float, Millivolts, Nanoseconds, Seconds};
 
 use crate::counter::FrequencyCounter;
 use crate::family::Family;
@@ -174,24 +174,27 @@ impl CutArray {
     /// survey quantifies before an experiment picks its site.
     #[must_use]
     pub fn fresh_delay_spread(&self) -> Nanoseconds {
-        let delays: Vec<f64> = self.cuts.iter().map(|(_, ro)| ro.fresh_cut_delay().get()).collect();
-        let max = delays.iter().cloned().fold(f64::MIN, f64::max);
-        let min = delays.iter().cloned().fold(f64::MAX, f64::min);
+        let delays = || self.cuts.iter().map(|(_, ro)| ro.fresh_cut_delay().get());
+        let max = float::max_of(delays()).unwrap_or(0.0);
+        let min = float::min_of(delays()).unwrap_or(0.0);
         Nanoseconds::new(max - min)
     }
 
     /// The slowest site right now — the die's critical survey point.
+    ///
+    /// Equal delays are broken deterministically toward the earlier site
+    /// in row-major order, so repeated surveys of an unchanged array
+    /// always name the same critical point.
     #[must_use]
     pub fn slowest_site(&self) -> (DieLocation, Nanoseconds) {
-        let (location, ro) = self
-            .cuts
-            .iter()
-            .max_by(|a, b| {
-                a.1.cut_delay(self.vdd)
-                    .partial_cmp(&b.1.cut_delay(self.vdd))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("array is non-empty by construction");
+        let Some((location, ro)) = self.cuts.iter().max_by(|a, b| {
+            a.1.cut_delay(self.vdd)
+                .get()
+                .total_cmp(&b.1.cut_delay(self.vdd).get())
+                .then_with(|| (b.0.row, b.0.column).cmp(&(a.0.row, a.0.column)))
+        }) else {
+            unreachable!("survey grid is non-empty by construction (asserted in sample)");
+        };
         (*location, ro.cut_delay(self.vdd))
     }
 }

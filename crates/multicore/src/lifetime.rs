@@ -2,7 +2,7 @@
 //! wear budget — the "extending life time" half of §6.2's closing claim.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::Seconds;
+use selfheal_units::{float, Seconds};
 
 use crate::scheduler::Scheduler;
 use crate::sim::{MulticoreSim, SimConfig};
@@ -49,11 +49,7 @@ pub fn estimate_lifetime(
     let mut exhausted_after = None;
     while sim.now() < horizon {
         sim.step();
-        let worst = sim
-            .wear()
-            .iter()
-            .map(|m| m.get())
-            .fold(0.0f64, f64::max);
+        let worst = float::max_of(sim.wear().iter().map(|m| m.get())).unwrap_or(0.0);
         if worst >= margin {
             exhausted_after = Some(sim.now());
             break;

@@ -108,11 +108,14 @@ impl Scheduler for HeaterAware {
         let demand = demand.min(n);
         let quota = n - demand;
 
+        // Most-worn first; total_cmp keeps the sort deterministic even
+        // for NaN wear readings, and the core index breaks exact ties so
+        // the rotation never depends on sort-internal ordering.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
             let wa = wear.get(a).map_or(0.0, |m| m.get());
             let wb = wear.get(b).map_or(0.0, |m| m.get());
-            wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal)
+            wb.total_cmp(&wa).then_with(|| a.cmp(&b))
         });
 
         let mut sleeping = vec![false; n];

@@ -5,7 +5,7 @@
 use serde::{Deserialize, Serialize};
 use selfheal_bti::analytic::AnalyticBti;
 use selfheal_bti::{DeviceCondition, Environment};
-use selfheal_units::{Fraction, Hours, Millivolts, Seconds, Volts};
+use selfheal_units::{float, Fraction, Hours, Millivolts, Seconds, Volts};
 
 use crate::floorplan::Floorplan;
 use crate::scheduler::Scheduler;
@@ -78,9 +78,12 @@ impl SystemReport {
     /// concentrates wear (large spread); rotation balances it.
     #[must_use]
     pub fn wear_spread_mv(&self) -> f64 {
-        let max = self.per_core_mv.iter().cloned().fold(f64::MIN, f64::max);
-        let min = self.per_core_mv.iter().cloned().fold(f64::MAX, f64::min);
-        max - min
+        let max = float::max_of(self.per_core_mv.iter().copied());
+        let min = float::min_of(self.per_core_mv.iter().copied());
+        match (max, min) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0.0,
+        }
     }
 }
 
@@ -94,6 +97,18 @@ pub struct MulticoreSim {
     now: Seconds,
     served: f64,
     active_time: f64,
+}
+
+// Not derivable: `Box<dyn Scheduler>` carries no `Debug` bound.
+impl std::fmt::Debug for MulticoreSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MulticoreSim")
+            .field("config", &self.config)
+            .field("scheduler", &self.scheduler.name())
+            .field("workload", &self.workload)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MulticoreSim {
@@ -194,7 +209,9 @@ impl MulticoreSim {
     #[must_use]
     pub fn report(&self) -> SystemReport {
         let per_core: Vec<f64> = self.cores.iter().map(|c| c.delta_vth().get()).collect();
-        let worst = per_core.iter().cloned().fold(0.0, f64::max);
+        let worst = float::max_of(per_core.iter().copied())
+            .unwrap_or(0.0)
+            .max(0.0);
         let mean = per_core.iter().sum::<f64>() / per_core.len().max(1) as f64;
         SystemReport {
             scheduler: self.scheduler.name().to_string(),

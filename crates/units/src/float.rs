@@ -1,0 +1,100 @@
+//! NaN-aware float reductions.
+//!
+//! `f64::max` and `f64::min` silently *discard* NaN (`f64::max(NAN, 1.0)`
+//! is `1.0`), so a NaN produced anywhere in a simulation vanishes into a
+//! plausible-looking statistic instead of failing loudly. The reductions
+//! here do the opposite: NaN propagates to the result, and for ordinary
+//! values the comparison uses [`f64::total_cmp`], which is a total order
+//! and therefore deterministic even for `-0.0` vs `+0.0`.
+//!
+//! The `selfheal-analyzer` lint `nan-unsafe-ordering` points offenders
+//! at this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use selfheal_units::float;
+//!
+//! assert_eq!(float::max_total(1.0, 2.0), 2.0);
+//! assert!(float::max_total(f64::NAN, 2.0).is_nan());
+//! assert_eq!(float::max_of([3.0, 1.0, 2.0]), Some(3.0));
+//! assert_eq!(float::min_of(std::iter::empty()), None);
+//! ```
+
+use std::cmp::Ordering;
+
+/// The larger of two floats under the total order; NaN propagates.
+#[must_use]
+pub fn max_total(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a.total_cmp(&b) == Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+/// The smaller of two floats under the total order; NaN propagates.
+#[must_use]
+pub fn min_total(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a.total_cmp(&b) == Ordering::Greater {
+        b
+    } else {
+        a
+    }
+}
+
+/// The maximum of an iterator under [`max_total`]; `None` when empty,
+/// NaN when any element is NaN.
+#[must_use]
+pub fn max_of(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    values.into_iter().reduce(max_total)
+}
+
+/// The minimum of an iterator under [`min_total`]; `None` when empty,
+/// NaN when any element is NaN.
+#[must_use]
+pub fn min_of(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    values.into_iter().reduce(min_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_values_behave_like_max_min() {
+        assert_eq!(max_total(1.0, 2.0), 2.0);
+        assert_eq!(max_total(2.0, 1.0), 2.0);
+        assert_eq!(min_total(1.0, 2.0), 1.0);
+        assert_eq!(min_total(-1.0, 1.0), -1.0);
+    }
+
+    #[test]
+    fn nan_propagates_instead_of_vanishing() {
+        assert!(max_total(f64::NAN, 1.0).is_nan());
+        assert!(max_total(1.0, f64::NAN).is_nan());
+        assert!(min_total(f64::NAN, 1.0).is_nan());
+        assert!(max_of([1.0, f64::NAN, 3.0]).unwrap().is_nan());
+    }
+
+    #[test]
+    fn signed_zero_is_deterministic() {
+        // total_cmp orders -0.0 < +0.0; f64::max's answer depends on
+        // argument order.
+        assert_eq!(max_total(-0.0, 0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(max_total(0.0, -0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(min_total(-0.0, 0.0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn reductions_over_iterators() {
+        assert_eq!(max_of([3.0, 1.0, 2.0]), Some(3.0));
+        assert_eq!(min_of([3.0, 1.0, 2.0]), Some(1.0));
+        assert_eq!(max_of(std::iter::empty()), None);
+        assert_eq!(max_of([f64::NEG_INFINITY]), Some(f64::NEG_INFINITY));
+    }
+}

@@ -30,12 +30,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod energy;
+pub mod float;
 mod frequency;
 mod ratio;
 mod temperature;
 mod time;
 mod voltage;
 
+pub use energy::ElectronVolts;
 pub use frequency::{Hertz, Megahertz};
 pub use ratio::{DutyCycle, Fraction, Percent, Ratio};
 pub use temperature::{Celsius, Kelvin};

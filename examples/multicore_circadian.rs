@@ -45,14 +45,13 @@ fn main() {
     }
 
     let naive = &reports[0];
-    let best = reports
+    // total_cmp keeps the selection total even if a model ever emits NaN.
+    let Some(best) = reports
         .iter()
-        .min_by(|a, b| {
-            a.worst_delta_vth_mv
-                .partial_cmp(&b.worst_delta_vth_mv)
-                .unwrap()
-        })
-        .unwrap();
+        .min_by(|a, b| a.worst_delta_vth_mv.total_cmp(&b.worst_delta_vth_mv))
+    else {
+        unreachable!("reports array is non-empty");
+    };
     println!(
         "\n{} cuts the critical core's wear to {:.0} % of naive gating while serving\n\
          the identical demand — margin that a designer can hand back as frequency,\n\

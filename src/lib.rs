@@ -5,6 +5,8 @@
 //! lives in the member crates; see [`selfheal`] for the paper's primary
 //! contribution and the README for a guided tour.
 
+#![forbid(unsafe_code)]
+
 pub use selfheal;
 pub use selfheal_bti;
 pub use selfheal_fpga;

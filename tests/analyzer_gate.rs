@@ -1,0 +1,42 @@
+//! Tier-1 static-analysis gate.
+//!
+//! Runs the `selfheal-analyzer` self-check as part of the ordinary
+//! workspace test suite: the repository's own sources must produce no
+//! findings beyond the checked-in `analyzer-baseline.txt` ratchet. This
+//! is the same verdict `cargo analyzer check` computes, so CI and local
+//! `cargo test` agree with the CLI.
+
+use std::path::Path;
+
+use selfheal_analyzer::baseline;
+
+#[test]
+fn workspace_passes_its_own_static_analysis() {
+    // The root package's manifest dir *is* the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings =
+        selfheal_analyzer::analyze_workspace(root).expect("workspace sources must be readable");
+
+    let baseline_path = root.join("analyzer-baseline.txt");
+    let allowed = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => baseline::parse(&text).expect("checked-in baseline must parse"),
+        Err(_) => baseline::Baseline::new(),
+    };
+    let verdict = baseline::check(&baseline::summarize(&findings), &allowed);
+
+    assert!(
+        verdict.regressions.is_empty(),
+        "new static-analysis findings — fix them or extend analyzer-baseline.txt deliberately:\n{}\nregressed (lint, file, current > allowed): {:?}",
+        findings
+            .iter()
+            .map(selfheal_analyzer::Finding::render_text)
+            .collect::<Vec<_>>()
+            .join("\n"),
+        verdict.regressions,
+    );
+    assert!(
+        verdict.stale.is_empty(),
+        "baseline entries no longer backed by findings — re-run `cargo analyzer check --update-baseline`: {:?}",
+        verdict.stale,
+    );
+}

@@ -1,0 +1,93 @@
+//! Offline stand-in for [`criterion`](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This stub keeps the workspace's `[[bench]]` targets
+//! compiling and gives them a *smoke-run* mode: each benchmark closure is
+//! executed a small fixed number of times and a coarse mean wall-clock
+//! time is printed. There are no statistics, no warm-up and no HTML
+//! reports — restore the registry dependency for real measurements.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How many times each routine runs in smoke mode.
+const SMOKE_ITERS: u32 = 10;
+
+/// Batch-size hint, accepted for API compatibility and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per batch.
+    PerIteration,
+}
+
+/// Drives one benchmark's routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+    }
+
+    /// Times `routine` with a fresh `setup` output per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            black_box(routine(input));
+        }
+    }
+}
+
+/// The benchmark harness handle passed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `id` in smoke mode.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { iters: SMOKE_ITERS };
+        let start = Instant::now();
+        f(&mut bencher);
+        let elapsed = start.elapsed();
+        let per_iter = elapsed.as_nanos() / u128::from(SMOKE_ITERS.max(1));
+        println!("bench {id}: ~{per_iter} ns/iter over {SMOKE_ITERS} smoke iterations (stub harness)");
+        self
+    }
+}
+
+/// Declares a benchmark group (stub: a function running each benchmark).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (stub: plain `main`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,361 @@
+//! Offline stand-in for [`proptest`](https://proptest-rs.github.io/proptest/).
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements a deterministic mini
+//! property-testing harness covering exactly the surface the workspace's
+//! property tests use:
+//!
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   header) over `name in strategy` and `name: Type` bindings,
+//! * [`Strategy`] implementations for numeric ranges, tuples,
+//!   `prop_map`, [`any`] and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike real proptest there is **no shrinking** and no failure
+//! persistence: each case is generated from a deterministic per-test
+//! seed, and assertion failures report the plain `assert!` panic. That
+//! is a weaker debugging experience but an identical pass/fail contract
+//! for the invariants under test.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for std::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Bounded but sign-varied; real proptest also favours finite values.
+        rng.gen_range(-1e9f64..1e9)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Arbitrary + Copy + Default, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::arbitrary(rng);
+        }
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `Vec`s of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.start < self.size.end {
+                rng.gen_range(self.size.start..self.size.end)
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration (case count only, in this stand-in).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from the property's name so each
+/// property sees a distinct but reproducible stream.
+#[must_use]
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Asserts a property-level condition (plain `assert!` in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts property-level equality (plain `assert_eq!` in this stand-in).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; ,) => {};
+    ($rng:ident; $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&$crate::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($args:tt)* ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for _ in 0..__cfg.cases {
+                    $crate::__proptest_bind!(__rng; $($args)* ,);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// The property-test entry point; see the crate docs for the supported
+/// subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            $crate::test_runner::ProptestConfig { cases: 64 }; $($rest)*
+        }
+    };
+}
+
+/// Convenience re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn percent() -> impl Strategy<Value = f64> {
+        (0.0f64..1.0).prop_map(|x| x * 100.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..2.5, n in 3u64..9, b: bool) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn mapped_strategy_applies(p in percent()) {
+            prop_assert!((0.0..100.0).contains(&p));
+        }
+
+        #[test]
+        fn tuples_and_vectors(pair in (0u8..3, 0.25f64..0.75), v in collection::vec(0.0f64..1.0, 0..10)) {
+            prop_assert!(pair.0 < 3);
+            prop_assert!(pair.1 >= 0.25 && pair.1 < 0.75);
+            prop_assert!(v.len() < 10);
+            for x in v {
+                prop_assert!((0.0..1.0).contains(&x));
+            }
+        }
+
+        #[test]
+        fn any_arrays_work(flags in any::<[bool; 4]>()) {
+            prop_assert_eq!(flags.len(), 4);
+        }
+    }
+}

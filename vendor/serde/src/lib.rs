@@ -1,0 +1,47 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no network access, so the real `serde`
+//! cannot be fetched. The workspace only uses serde through
+//! `#[derive(Serialize, Deserialize)]` attributes (no hand-written impls
+//! and no non-test serialization call sites), so this stub provides:
+//!
+//! * marker traits [`Serialize`] / [`Deserialize`] blanket-implemented
+//!   for every type, and
+//! * no-op derive macros (behind the `derive` feature) that accept and
+//!   ignore `#[serde(...)]` container/field attributes.
+//!
+//! Actual serialization is **not** available offline; the serde
+//! round-trip integration tests are `#[ignore]`d with an explanatory
+//! message until the real dependency can be restored. Swapping this stub
+//! back for real serde is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; satisfied by every
+/// sized type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in.
+//!
+//! The stub `serde` crate blanket-implements its marker traits for every
+//! type, so the derives here only need to (a) exist, so that
+//! `#[derive(Serialize, Deserialize)]` parses, and (b) register the
+//! `#[serde(...)]` helper attribute, so container and field attributes
+//! are accepted. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

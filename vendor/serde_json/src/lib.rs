@@ -1,0 +1,61 @@
+//! Offline stand-in for [`serde_json`].
+//!
+//! Provides the `to_string` / `from_str` signatures the workspace's test
+//! code references so everything type-checks, but every call returns
+//! [`Error::Stubbed`] at runtime: with the no-op serde derives there is no
+//! structural information to serialize from. Tests exercising real JSON
+//! round-trips are `#[ignore]`d until the registry dependency can be
+//! restored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// The error type: always [`Error::Stubbed`] in this stand-in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Serialization is unavailable because serde is stubbed offline.
+    Stubbed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(
+            "serde_json is stubbed for offline builds; real JSON support \
+             requires restoring the registry `serde`/`serde_json` dependencies",
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stand-in result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails with [`Error::Stubbed`].
+///
+/// # Errors
+///
+/// Always.
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error::Stubbed)
+}
+
+/// Always fails with [`Error::Stubbed`].
+///
+/// # Errors
+///
+/// Always.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error::Stubbed)
+}
+
+/// Always fails with [`Error::Stubbed`].
+///
+/// # Errors
+///
+/// Always.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error::Stubbed)
+}
