@@ -4,7 +4,9 @@ use std::path::Path;
 
 use crate::findings::{Finding, Lint};
 use crate::lexer::{literal_value, LexedFile, Token, TokenKind};
-use crate::sig::{parse_pub_fns, test_region_mask, FnSig, SelfKind};
+use crate::sig::{
+    parse_pub_fns, parse_pub_struct_fields, test_region_mask, FnSig, SelfKind, StructField,
+};
 
 /// Where a file sits in the workspace; drives lint applicability.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,7 +80,7 @@ const UNIT_TYPES: [&str; 15] = [
 
 /// Substrings of parameter/function names that imply a physical unit,
 /// with the newtype the API should use instead.
-const PHYSICAL_NAME_HINTS: [(&str, &str); 10] = [
+const PHYSICAL_NAME_HINTS: [(&str, &str); 11] = [
     ("vdd", "Volts"),
     ("volt", "Volts or Millivolts"),
     ("celsius", "Celsius"),
@@ -89,6 +91,7 @@ const PHYSICAL_NAME_HINTS: [(&str, &str); 10] = [
     ("freq", "Hertz or Megahertz"),
     ("alpha", "DutyCycle or Fraction"),
     ("margin", "Millivolts"),
+    ("_mv", "Millivolts"),
 ];
 
 /// Runs every applicable lint over one lexed file.
@@ -107,6 +110,8 @@ pub fn run_all(path: &Path, lexed: &LexedFile, ctx: &FileContext) -> Vec<Finding
         let sigs = parse_pub_fns(tokens, &mask);
         if ctx.crate_name != "selfheal-units" {
             findings.extend(bare_physical_f64(path, &sigs));
+            let fields = parse_pub_struct_fields(tokens, &mask);
+            findings.extend(bare_physical_f64_fields(path, &fields));
         }
         findings.extend(missing_must_use(path, &sigs));
         if UNWRAP_GATED_CRATES.contains(&ctx.crate_name.as_str()) {
@@ -169,6 +174,33 @@ fn bare_physical_f64(path: &Path, sigs: &[FnSig]) -> Vec<Finding> {
                     snippet: format!("fn {} -> f64", sig.name),
                 });
             }
+        }
+    }
+    out
+}
+
+/// Lint: `pub struct` fields storing physical quantities as bare `f64`
+/// (or homogeneous `f64` containers).
+fn bare_physical_f64_fields(path: &Path, fields: &[StructField]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for field in fields.iter().filter(|f| !f.in_test_region) {
+        let container = match field.ty.as_str() {
+            "f64" => "f64",
+            "Vec < f64 >" => "Vec<f64>",
+            "Option < f64 >" => "Option<f64>",
+            _ => continue,
+        };
+        if let Some((needle, suggestion)) = physical_hint(&field.name) {
+            out.push(Finding {
+                lint: Lint::BarePhysicalF64,
+                file: path.to_path_buf(),
+                line: field.line,
+                message: format!(
+                    "field `{}: {container}` of `pub struct {}` names a physical quantity (`{}`); store {} instead",
+                    field.name, field.struct_name, needle, suggestion
+                ),
+                snippet: format!("{}: {container}", field.name),
+            });
         }
     }
     out
@@ -524,6 +556,35 @@ mod tests {
         );
         assert!(f[0].message.contains("vdd_volts"));
         assert!(f[1].message.contains("margin_mv"));
+    }
+
+    #[test]
+    fn bare_physical_struct_fields_are_flagged() {
+        let f = run(
+            "pub struct Report { pub worst_mv: f64, pub per_core_mv: Vec<f64>, pub count: usize }",
+            &FileContext::lib("selfheal-multicore"),
+        );
+        assert_eq!(
+            lint_ids(&f),
+            vec!["bare-physical-f64", "bare-physical-f64"]
+        );
+        assert!(f[0].message.contains("worst_mv"));
+        assert!(f[1].message.contains("per_core_mv"));
+    }
+
+    #[test]
+    fn typed_and_private_struct_fields_are_clean() {
+        let f = run(
+            "pub struct Report { pub worst_mv: Millivolts, setpoint_mv: f64 }",
+            &FileContext::lib("selfheal-multicore"),
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn struct_field_allow_comment_suppresses() {
+        let src = "pub struct S {\n    // analyzer: allow(bare-physical-f64)\n    pub served_core_seconds: f64,\n}";
+        assert!(run(src, &FileContext::lib("selfheal-multicore")).is_empty());
     }
 
     #[test]

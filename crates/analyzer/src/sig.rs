@@ -329,6 +329,195 @@ fn parse_params(tokens: &[Token], open: usize) -> (SelfKind, Vec<Param>, usize) 
     (self_kind, params, end + 1)
 }
 
+/// One `pub` field of a `pub struct`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructField {
+    /// Name of the owning struct.
+    pub struct_name: String,
+    /// The field name.
+    pub name: String,
+    /// The type, rendered as space-joined token texts (`f64`,
+    /// `Vec < f64 >`, `Option < Seconds >`).
+    pub ty: String,
+    /// Source line of the field name.
+    pub line: u32,
+    /// True when the struct lies inside a `#[cfg(test)]` region.
+    pub in_test_region: bool,
+}
+
+/// Parses every `pub` named field of every `pub struct` in the token
+/// stream. Tuple and unit structs have no named fields and are skipped;
+/// private fields are skipped (they are not API surface).
+#[must_use]
+pub fn parse_pub_struct_fields(tokens: &[Token], test_mask: &[bool]) -> Vec<StructField> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        let pub_idx = i;
+        let mut j = skip_vis_modifier(tokens, i + 1);
+        if !tokens.get(j).is_some_and(|t| t.is_ident("struct")) {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(j + 1) else {
+            break;
+        };
+        let struct_name = name_tok.text.clone();
+        j += 2;
+        // Generics and any `where` clause: skip forward to the body
+        // opener (`{`), a tuple opener (`(`) or a unit `;`.
+        let mut angle = 0i32;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && angle > 0 {
+                angle -= 1;
+            } else if angle == 0 && (t.is_punct('{') || t.is_punct('(') || t.is_punct(';')) {
+                break;
+            }
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+            // Tuple or unit struct: no named fields to inspect.
+            i = j.max(i + 1);
+            continue;
+        }
+        let in_test_region = test_mask.get(pub_idx).copied().unwrap_or(false);
+        let body_end = item_end(tokens, j);
+        fields.extend(parse_fields_in_body(
+            tokens,
+            j,
+            body_end,
+            &struct_name,
+            in_test_region,
+        ));
+        i = body_end;
+    }
+    fields
+}
+
+/// Skips a `( ... )` visibility qualifier (`pub(crate)`, `pub(in x)`)
+/// starting just after `pub`; returns the index of the following token.
+fn skip_vis_modifier(tokens: &[Token], mut j: usize) -> usize {
+    if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            if tokens[j].is_punct('(') {
+                depth += 1;
+            } else if tokens[j].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Extracts the `pub` named fields between a struct's `{` at `open` and
+/// its closing brace (exclusive end index `end`).
+fn parse_fields_in_body(
+    tokens: &[Token],
+    open: usize,
+    end: usize,
+    struct_name: &str,
+    in_test_region: bool,
+) -> Vec<StructField> {
+    let mut fields = Vec::new();
+    let mut j = open + 1;
+    while j < end {
+        // Skip field attributes (`#[serde(..)]`, doc attrs, ...).
+        while j < end
+            && tokens[j].is_punct('#')
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = read_attr(tokens, j + 1).1;
+        }
+        if j >= end || tokens[j].is_punct('}') {
+            break;
+        }
+        let is_pub = tokens[j].is_ident("pub");
+        if is_pub {
+            j = skip_vis_modifier(tokens, j + 1);
+        }
+        // Field name and `:`.
+        let name_ok = tokens.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && !tokens.get(j + 2).is_some_and(|t| t.is_punct(':'));
+        if !name_ok {
+            // Not a field start (malformed or past the last field) —
+            // resync at the next top-level comma.
+            j = next_field_boundary(tokens, j, end);
+            continue;
+        }
+        let name_tok = &tokens[j];
+        let ty_start = j + 2;
+        let ty_end = next_field_boundary(tokens, ty_start, end);
+        if is_pub {
+            // The boundary sits just past a `,` or on the closing `}`;
+            // the type tokens run up to (not including) either.
+            let ty_last = if ty_end > ty_start && tokens[ty_end - 1].is_punct(',') {
+                ty_end - 1
+            } else {
+                ty_end
+            };
+            let ty = tokens[ty_start..ty_last]
+                .iter()
+                .map(|t| t.text.clone())
+                .collect::<Vec<_>>()
+                .join(" ");
+            fields.push(StructField {
+                struct_name: struct_name.to_string(),
+                name: name_tok.text.clone(),
+                ty,
+                line: name_tok.line,
+                in_test_region,
+            });
+        }
+        j = ty_end;
+    }
+    fields
+}
+
+/// Returns the index just past the `,` ending the field whose type starts
+/// at `from` (or `end` when the struct body closes first). Nested
+/// brackets of any shape are skipped.
+fn next_field_boundary(tokens: &[Token], from: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut j = from;
+    while j < end {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('}') {
+            if depth == 0 {
+                return j;
+            }
+            depth -= 1;
+        } else if t.is_punct('<') && depth == 0 {
+            angle += 1;
+        } else if t.is_punct('>') && depth == 0 && angle > 0 {
+            if !tokens.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('-')) {
+                angle -= 1;
+            }
+        } else if t.is_punct(',') && depth == 0 && angle == 0 {
+            return j + 1;
+        }
+        j += 1;
+    }
+    end
+}
+
 /// Classifies a parameter slice as a `self` parameter, if it is one.
 fn self_param_kind(slice: &[Token]) -> Option<SelfKind> {
     let mut k = 0;
@@ -481,5 +670,85 @@ mod tests {
         let s = sigs("pub(crate) fn freq_mhz(&self) -> f64 { 0.0 }");
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].name, "freq_mhz");
+    }
+
+    fn fields(src: &str) -> Vec<StructField> {
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        parse_pub_struct_fields(&lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn pub_struct_fields_parse_with_types() {
+        let src = r"
+            pub struct Report {
+                pub worst_mv: f64,
+                pub per_core: Vec<f64>,
+                internal: u32,
+                pub label: String,
+            }
+        ";
+        let f = fields(src);
+        let names: Vec<(&str, &str)> = f
+            .iter()
+            .map(|x| (x.name.as_str(), x.ty.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("worst_mv", "f64"),
+                ("per_core", "Vec < f64 >"),
+                ("label", "String"),
+            ]
+        );
+        assert!(f.iter().all(|x| x.struct_name == "Report"));
+    }
+
+    #[test]
+    fn private_structs_and_tuple_structs_are_skipped() {
+        let src = r"
+            struct Hidden { pub x_mv: f64 }
+            pub struct Pair(f64, f64);
+            pub struct Unit;
+        ";
+        assert!(fields(src).is_empty());
+    }
+
+    #[test]
+    fn struct_field_attrs_and_generics_do_not_confuse_the_parser() {
+        let src = r#"
+            pub struct Config<T: Clone> where T: Default {
+                #[serde(default)]
+                pub margin_mv: f64,
+                pub lookup: HashMap<String, Vec<(f64, f64)>>,
+                pub inner: T,
+            }
+        "#;
+        let f = fields(src);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0].name, "margin_mv");
+        assert_eq!(f[0].ty, "f64");
+        assert_eq!(f[1].name, "lookup");
+        assert_eq!(f[2].ty, "T");
+    }
+
+    #[test]
+    fn last_field_without_trailing_comma_keeps_its_type() {
+        let f = fields("pub struct S { pub alpha: f64 }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].ty, "f64");
+    }
+
+    #[test]
+    fn cfg_test_structs_are_masked() {
+        let src = r"
+            #[cfg(test)]
+            pub struct Probe { pub vdd_volts: f64 }
+            pub struct Live { pub vdd_volts: f64 }
+        ";
+        let f = fields(src);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].in_test_region);
+        assert!(!f[1].in_test_region);
     }
 }

@@ -2,7 +2,20 @@
 //! `//~ <lint-id>` marker; unmarked lines are deliberate true negatives.
 
 pub struct Regulator {
+    // True negative: private fields are not API surface.
     setpoint_mv: f64,
+}
+
+pub struct Readout {
+    pub shift_mv: f64, //~ bare-physical-f64
+    pub per_core_mv: Vec<f64>, //~ bare-physical-f64
+    pub margin: Option<f64>, //~ bare-physical-f64
+    // True negative: typed field, the shape this lint pushes toward.
+    pub worst: Millivolts,
+    // True negative: no physical-name hint.
+    pub samples: Vec<f64>,
+    // analyzer: allow(bare-physical-f64) -- compound unit (core-seconds)
+    pub served_core_seconds: f64,
 }
 
 impl Regulator {

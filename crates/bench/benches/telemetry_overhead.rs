@@ -1,0 +1,56 @@
+//! Criterion bench: cost of the telemetry layer on an instrumented hot
+//! path (the multi-core scheduling step, which emits one event, one
+//! counter, one gauge and one histogram observation per call).
+//!
+//! Three configurations:
+//!
+//! * `off` — no sink, metrics disabled: every instrumentation site is a
+//!   single relaxed atomic load (the <5 % no-op overhead budget);
+//! * `metrics` — registry recording, no sink;
+//! * `memory_sink` — full event stream into an in-process sink.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use selfheal_multicore::scheduler::HeaterAware;
+use selfheal_multicore::sim::{MulticoreSim, SimConfig};
+use selfheal_multicore::workload::Workload;
+use selfheal_telemetry as telemetry;
+
+fn day_of_steps() -> f64 {
+    let mut sim = MulticoreSim::new(
+        SimConfig::default(),
+        Box::new(HeaterAware::paper_default()),
+        Workload::constant(6),
+    );
+    sim.run_days(1.0).worst_delta_vth_mv.get()
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    c.bench_function("telemetry/day_of_steps_off", |b| {
+        telemetry::metrics::set_enabled(false);
+        b.iter(|| black_box(day_of_steps()));
+    });
+
+    c.bench_function("telemetry/day_of_steps_metrics", |b| {
+        telemetry::metrics::set_enabled(true);
+        b.iter(|| black_box(day_of_steps()));
+        telemetry::metrics::set_enabled(false);
+        telemetry::metrics::reset();
+    });
+
+    c.bench_function("telemetry/day_of_steps_memory_sink", |b| {
+        let sink = telemetry::MemorySink::new();
+        let guard = telemetry::install_sink(sink.clone());
+        telemetry::metrics::set_enabled(true);
+        b.iter(|| {
+            let report = day_of_steps();
+            sink.drain_current_thread();
+            black_box(report)
+        });
+        telemetry::metrics::set_enabled(false);
+        telemetry::metrics::reset();
+        drop(guard);
+    });
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -2,14 +2,16 @@
 //! sawtooth with a rising floor (the unrecovered part accumulates).
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin fig1`.
+//! Pass `--json` for the run manifest instead of the human report.
 
-use selfheal_bench::{fmt, sparkline, Table};
+use selfheal_bench::{fmt, sparkline, BenchRun, Table};
 use selfheal_bti::analytic::CycleModel;
 use selfheal_bti::{DeviceCondition, Environment, Phase};
 use selfheal_units::{Celsius, Hours, Ratio, Volts};
 
 fn main() {
-    println!("Fig. 1: Behavioural illustration of stress and recovery\n");
+    let mut run = BenchRun::start("fig1");
+    run.say("Fig. 1: Behavioural illustration of stress and recovery\n");
 
     let model = CycleModel {
         alpha: Ratio::PAPER_ALPHA,
@@ -23,7 +25,10 @@ fn main() {
             Celsius::new(110.0),
         )),
     };
-    let series = model.run(3);
+    let series = {
+        let _phase = run.phase("sawtooth");
+        model.run(3)
+    };
 
     let mut table = Table::new(&["t (h)", "phase", "dVth (mV)"]);
     for sample in series.iter().step_by(2) {
@@ -37,10 +42,10 @@ fn main() {
             &fmt(sample.delta_vth.get(), 2),
         ]);
     }
-    table.print();
+    run.table(&table);
 
     let values: Vec<f64> = series.iter().map(|s| s.delta_vth.get()).collect();
-    println!("\nshape: {}", sparkline(&values));
+    run.say(format!("\nshape: {}", sparkline(&values)));
 
     // The paper's qualitative claims for this figure:
     let peaks: Vec<f64> = series
@@ -56,10 +61,20 @@ fn main() {
         .chunks(16)
         .filter_map(|cycle| cycle.last().map(|s| s.delta_vth.get()))
         .collect();
-    println!("cycle peaks  (mV): {:?}", peaks.iter().map(|v| fmt(*v, 1)).collect::<Vec<_>>());
-    println!("cycle floors (mV): {:?}", floors.iter().map(|v| fmt(*v, 1)).collect::<Vec<_>>());
-    println!(
+    run.say(format!(
+        "cycle peaks  (mV): {:?}",
+        peaks.iter().map(|v| fmt(*v, 1)).collect::<Vec<_>>()
+    ));
+    run.say(format!(
+        "cycle floors (mV): {:?}",
+        floors.iter().map(|v| fmt(*v, 1)).collect::<Vec<_>>()
+    ));
+    run.say(
         "\npaper: recovery is partial, so the floor rises cycle to cycle while deep\n\
-         rejuvenation keeps the envelope far below monotonic wearout."
+         rejuvenation keeps the envelope far below monotonic wearout.",
     );
+
+    run.value("final_peak_mv", peaks.last().copied().unwrap_or(0.0));
+    run.value("final_floor_mv", floors.last().copied().unwrap_or(0.0));
+    run.finish("alpha=4 period_h=30 cycles=3 stress=1.2V/110C sleep=-0.3V/110C");
 }

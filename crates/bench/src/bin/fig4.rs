@@ -2,13 +2,18 @@
 //! time; AC lands at about half of DC.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin fig4`.
+//! Pass `--json` for the run manifest instead of the human report.
 
-use selfheal_bench::{campaign, fmt, paper, sparkline, Table};
+use selfheal_bench::{campaign, fmt, paper, sparkline, BenchRun, Table};
 use selfheal_fpga::ChipId;
 
 fn main() {
-    println!("Fig. 4: AC/DC stress test results (24 h @ 110 degC)\n");
-    let outputs = campaign();
+    let mut run = BenchRun::start("fig4");
+    run.say("Fig. 4: AC/DC stress test results (24 h @ 110 degC)\n");
+    let outputs = {
+        let _phase = run.phase("campaign");
+        campaign()
+    };
 
     let ac = outputs.stress("AS110AC24").expect("AC case ran");
     let dc = outputs
@@ -24,37 +29,38 @@ fn main() {
             &fmt(d.frequency_degradation.get(), 3),
         ]);
     }
-    table.print();
+    run.table(&table);
 
     let ac_curve: Vec<f64> = ac.series.iter().map(|p| p.frequency_degradation.get()).collect();
     let dc_curve: Vec<f64> = dc.series.iter().map(|p| p.frequency_degradation.get()).collect();
-    println!("\nAC shape: {}", sparkline(&ac_curve));
-    println!("DC shape: {}", sparkline(&dc_curve));
+    run.say(format!("\nAC shape: {}", sparkline(&ac_curve)));
+    run.say(format!("DC shape: {}", sparkline(&dc_curve)));
 
     let ratio = ac.total_degradation().get() / dc.total_degradation().get();
-    println!("\n--- paper vs measured ---");
+    let onset = dc
+        .series
+        .iter()
+        .find(|p| p.elapsed.to_hours().get() >= 3.0)
+        .map(|p| p.frequency_degradation.get())
+        .unwrap_or(0.0)
+        / dc.total_degradation().get();
+    run.say("\n--- paper vs measured ---");
     let mut cmp = Table::new(&["quantity", "paper", "measured"]);
     cmp.row(&[
         "AC/DC final degradation ratio",
         &format!("~{}", fmt(paper::AC_OVER_DC_RATIO, 2)),
         &fmt(ratio, 2),
     ]);
-    cmp.row(&[
-        "fast-then-slow onset (3 h / 24 h)",
-        "> 0.4",
-        &fmt(
-            dc.series
-                .iter()
-                .find(|p| p.elapsed.to_hours().get() >= 3.0)
-                .map(|p| p.frequency_degradation.get())
-                .unwrap_or(0.0)
-                / dc.total_degradation().get(),
-            2,
-        ),
-    ]);
-    cmp.print();
-    println!(
+    cmp.row(&["fast-then-slow onset (3 h / 24 h)", "> 0.4", &fmt(onset, 2)]);
+    run.table(&cmp);
+    run.say(
         "\npaper: \"AC stress can be viewed as a symmetric stress and recovery process\n\
-         ... which is about half of that in the DC stress case.\""
+         ... which is about half of that in the DC stress case.\"",
     );
+
+    run.value("ac_over_dc_ratio", ratio);
+    run.value("onset_fraction_3h", onset);
+    run.value("ac_final_degradation_pct", ac.total_degradation().get());
+    run.value("dc_final_degradation_pct", dc.total_degradation().get());
+    run.finish("campaign seed=2014 cases=AS110AC24,AS110DC24@chip2");
 }

@@ -2,13 +2,18 @@
 //! delay change with the fitted Eq. (10) model curves.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin fig5`.
+//! Pass `--json` for the run manifest instead of the human report.
 
-use selfheal_bench::{campaign, fmt, paper, sparkline, Table};
+use selfheal_bench::{campaign, fmt, paper, sparkline, BenchRun, Table};
 use selfheal_fpga::ChipId;
 
 fn main() {
-    println!("Fig. 5: Accelerated wearout at 110 degC and 100 degC for 1 day\n");
-    let outputs = campaign();
+    let mut run = BenchRun::start("fig5");
+    run.say("Fig. 5: Accelerated wearout at 110 degC and 100 degC for 1 day\n");
+    let outputs = {
+        let _phase = run.phase("campaign");
+        campaign()
+    };
 
     let hot = outputs
         .stress_on("AS110DC24", ChipId::new(5))
@@ -33,12 +38,12 @@ fn main() {
             &fmt(warm_fit.predict(w.elapsed).get(), 3),
         ]);
     }
-    table.print();
+    run.table(&table);
 
     let hot_curve: Vec<f64> = hot.series.iter().map(|p| p.delay_shift.get()).collect();
-    println!("\n110 degC shape: {}", sparkline(&hot_curve));
+    run.say(format!("\n110 degC shape: {}", sparkline(&hot_curve)));
 
-    println!("\n--- paper vs measured ---");
+    run.say("\n--- paper vs measured ---");
     let mut cmp = Table::new(&["quantity", "paper", "measured"]);
     cmp.row(&[
         "24 h degradation @110 degC (%)",
@@ -55,9 +60,14 @@ fn main() {
         "(tracks measurement)",
         &fmt(hot_fit.rmse_ns, 3),
     ]);
-    cmp.print();
-    println!(
+    run.table(&cmp);
+    run.say(
         "\npaper: \"initially, frequency degrades fast and then slower. High temperature\n\
-         accelerates the degradation.\""
+         accelerates the degradation.\"",
     );
+
+    run.value("dc110_degradation_pct", hot.total_degradation().get());
+    run.value("dc100_degradation_pct", warm.total_degradation().get());
+    run.value("model_rmse_110c_ns", hot_fit.rmse_ns);
+    run.finish("campaign seed=2014 cases=AS110DC24@chip5,AS100DC24");
 }

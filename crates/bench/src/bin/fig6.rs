@@ -3,12 +3,17 @@
 //! model curves.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin fig6`.
+//! Pass `--json` for the run manifest instead of the human report.
 
-use selfheal_bench::{campaign, fmt, sparkline, Table};
+use selfheal_bench::{campaign, fmt, sparkline, BenchRun, Table};
 
 fn main() {
-    println!("Fig. 6: Recovery at (a) 20 degC and (b) 110 degC, 0 V vs -0.3 V\n");
-    let outputs = campaign();
+    let mut run = BenchRun::start("fig6");
+    run.say("Fig. 6: Recovery at (a) 20 degC and (b) 110 degC, 0 V vs -0.3 V\n");
+    let outputs = {
+        let _phase = run.phase("campaign");
+        campaign()
+    };
 
     for (panel, zero_case, neg_case) in [
         ("(a) 20 degC", "R20Z6", "AR20N6"),
@@ -19,7 +24,7 @@ fn main() {
         let zero_fit = zero.fit.as_ref().expect("fit");
         let neg_fit = neg.fit.as_ref().expect("fit");
 
-        println!("{panel}:");
+        run.say(format!("{panel}:"));
         let mut table = Table::new(&[
             "t2 (h)",
             &format!("{zero_case} RD (ns)"),
@@ -36,12 +41,12 @@ fn main() {
                 &fmt(neg_fit.predict(n.elapsed).get(), 3),
             ]);
         }
-        table.print();
+        run.table(&table);
         let neg_curve: Vec<f64> = neg.series.iter().map(|p| p.recovered_delay.get()).collect();
-        println!("{neg_case} shape: {}\n", sparkline(&neg_curve));
+        run.say(format!("{neg_case} shape: {}\n", sparkline(&neg_curve)));
     }
 
-    println!("--- shape checks (paper) ---");
+    run.say("--- shape checks (paper) ---");
     let rd = |name: &str| {
         outputs
             .recovery(name)
@@ -60,10 +65,16 @@ fn main() {
         if rd("AR110N6") > rd("AR110Z6") { "yes" } else { "NO" },
         &format!("{} vs {}", fmt(rd("AR110N6"), 2), fmt(rd("AR110Z6"), 2)),
     ]);
-    cmp.print();
-    println!(
+    run.table(&cmp);
+    run.say(
         "\npaper: \"stressed chips rejuvenate faster with a negative supply voltage for\n\
          both temperatures ... the recovery is significantly accelerated even at room\n\
-         temperature.\""
+         temperature.\"",
     );
+
+    run.value("recovered_delay_ar20n6_ns", rd("AR20N6"));
+    run.value("recovered_delay_r20z6_ns", rd("R20Z6"));
+    run.value("recovered_delay_ar110n6_ns", rd("AR110N6"));
+    run.value("recovered_delay_ar110z6_ns", rd("AR110Z6"));
+    run.finish("campaign seed=2014 cases=R20Z6,AR20N6,AR110Z6,AR110N6");
 }

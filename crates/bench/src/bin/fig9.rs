@@ -3,14 +3,16 @@
 //! uninterrupted wearout keeps climbing.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin fig9`.
+//! Pass `--json` for the run manifest instead of the human report.
 
-use selfheal_bench::{fmt, sparkline, Table};
+use selfheal_bench::{fmt, sparkline, BenchRun, Table};
 use selfheal_bti::analytic::{AnalyticBti, CycleModel};
 use selfheal_bti::{DeviceCondition, Environment};
 use selfheal_units::{Celsius, Hours, Ratio, Seconds, Volts};
 
 fn main() {
-    println!("Fig. 9: Wearout vs accelerated recovery over repeated cycles\n");
+    let mut run = BenchRun::start("fig9");
+    run.say("Fig. 9: Wearout vs accelerated recovery over repeated cycles\n");
 
     let stress = DeviceCondition::dc_stress(Environment::new(Volts::new(1.2), Celsius::new(110.0)));
     let heal = DeviceCondition::recovery(Environment::new(Volts::new(-0.3), Celsius::new(110.0)));
@@ -25,9 +27,13 @@ fn main() {
         active: stress,
         sleep: heal,
     };
-    let healed = model.run(cycles);
+    let healed = {
+        let _phase = run.phase("healed-schedule");
+        model.run(cycles)
+    };
 
     // Uninterrupted wearout (what margins are budgeted for today).
+    let _phase = run.phase("wearout-baseline");
     let mut baseline = AnalyticBti::default();
     let mut baseline_series = Vec::new();
     let step = period / 16.0;
@@ -36,6 +42,7 @@ fn main() {
         baseline.advance(stress, step);
         baseline_series.push((step.get() * i as f64, baseline.delta_vth().get()));
     }
+    drop(_phase);
 
     let mut table = Table::new(&["t (h)", "wearout only (mV)", "with healing (mV)"]);
     for (b, h) in baseline_series.iter().zip(&healed).step_by(8) {
@@ -45,25 +52,30 @@ fn main() {
             &fmt(h.delta_vth.get(), 2),
         ]);
     }
-    table.print();
+    run.table(&table);
 
     let base_curve: Vec<f64> = baseline_series.iter().map(|p| p.1).collect();
     let heal_curve: Vec<f64> = healed.iter().map(|s| s.delta_vth.get()).collect();
-    println!("\nwearout : {}", sparkline(&base_curve));
-    println!("healing : {}", sparkline(&heal_curve));
+    run.say(format!("\nwearout : {}", sparkline(&base_curve)));
+    run.say(format!("healing : {}", sparkline(&heal_curve)));
 
     let final_base = base_curve.last().copied().unwrap_or(0.0);
     let final_heal = heal_curve.last().copied().unwrap_or(0.0);
-    println!("\n--- shape check (paper) ---");
-    println!(
+    run.say("\n--- shape check (paper) ---");
+    run.say(format!(
         "final shift with healing is {} of uninterrupted wearout ({} vs {} mV)",
         fmt(final_heal / final_base, 2),
         fmt(final_heal, 1),
         fmt(final_base, 1)
-    );
-    println!(
+    ));
+    run.say(
         "\npaper: scheduled deep rejuvenation (110 degC, -0.3 V, alpha = 4) repeatedly\n\
          pulls the accumulated shift back down, relaxing the margin the design must\n\
-         budget for the whole period of operation."
+         budget for the whole period of operation.",
     );
+
+    run.value("final_wearout_mv", final_base);
+    run.value("final_healed_mv", final_heal);
+    run.value("healed_over_wearout", final_heal / final_base);
+    run.finish("alpha=4 period_h=30 cycles=8 stress=1.2V/110C sleep=-0.3V/110C");
 }

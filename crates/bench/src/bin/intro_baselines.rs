@@ -3,32 +3,37 @@
 //! an identical work-preserving schedule.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin intro_baselines`.
+//! Pass `--json` for the run manifest instead of the human report.
 
 use selfheal::mitigation::{compare_strategies, speedup_at};
-use selfheal_bench::{fmt, Table};
+use selfheal_bench::{fmt, BenchRun, Table};
 use selfheal_bti::Environment;
 use selfheal_units::{Celsius, Hours, Volts};
 
 fn main() {
-    println!("SS1 baselines: same work per day, different mitigation strategies\n");
+    let mut run = BenchRun::start("intro_baselines");
+    run.say("SS1 baselines: same work per day, different mitigation strategies\n");
 
     let active = Environment::new(Volts::new(1.2), Celsius::new(90.0));
     let overdrive = Volts::new(1.32);
-    println!(
+    run.say(format!(
         "workload: 18 h of nominal-speed work per 24 h period, 60 days;\n\
          GNOMO overdrive +10 % ({} -> {}), speedup {}x\n",
         active.supply(),
         overdrive,
         fmt(speedup_at(overdrive, active), 3)
-    );
+    ));
 
-    let outcomes = compare_strategies(
-        active,
-        overdrive,
-        Hours::new(18.0).into(),
-        Hours::new(24.0).into(),
-        60,
-    );
+    let outcomes = {
+        let _phase = run.phase("strategy-race");
+        compare_strategies(
+            active,
+            overdrive,
+            Hours::new(18.0).into(),
+            Hours::new(24.0).into(),
+            60,
+        )
+    };
 
     let mut table = Table::new(&[
         "strategy",
@@ -44,21 +49,30 @@ fn main() {
             &fmt(o.relative_energy, 2),
         ]);
     }
-    table.print();
+    run.table(&table);
 
     let baseline = &outcomes[0];
     let healing = &outcomes[2];
-    println!(
+    run.say(format!(
         "\nself-healing ends at {} of the guardband baseline's shift at equal energy.\n\
          GNOMO pays {}x dynamic energy and, under the log-time TD aging of this\n\
          reproduction, its shorter stress time cannot pay for its higher stress\n\
          voltage (its published wins assume power-law aging).",
         fmt(healing.final_shift.get() / baseline.final_shift.get(), 2),
         fmt(outcomes[1].relative_energy, 2)
-    );
-    println!(
+    ));
+    run.say(
         "\npaper SS1: \"Most previous BTI mitigation techniques focus on reducing\n\
          BTI-induced degradation during operation ... however either performance or\n\
-         power overheads are introduced.\" The proposal instead repairs during sleep."
+         power overheads are introduced.\" The proposal instead repairs during sleep.",
     );
+
+    run.value("guardband_final_mv", baseline.final_shift.get());
+    run.value("healing_final_mv", healing.final_shift.get());
+    run.value(
+        "healing_over_guardband",
+        healing.final_shift.get() / baseline.final_shift.get(),
+    );
+    run.value("gnomo_relative_energy", outcomes[1].relative_energy);
+    run.finish("work=18h/24h days=60 overdrive=+10pct active=1.2V/90C");
 }

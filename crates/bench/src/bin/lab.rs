@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! USAGE:
-//!   lab [--seed N] [--chip N] [--csv FILE] PHASE [PHASE ...]
+//!   lab [--seed N] [--chip N] [--csv FILE] [--json] [--out FILE] PHASE [PHASE ...]
 //!
 //! PHASE is either a Table 1 case name (AS110DC24, AR110N6, ...) or an
 //! ad-hoc spec  kind:temp_c:volts:hours[:sampling_min]  with kind one of
@@ -15,13 +15,14 @@
 //! ```
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin lab -- <args>`.
+//! Pass `--json` for the run manifest instead of the human report.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
 use rand::SeedableRng;
-use selfheal_bench::fmt;
+use selfheal_bench::{fmt, BenchRun};
 use selfheal_fpga::{Chip, ChipId};
 use selfheal_testbench::export::write_csv;
 use selfheal_testbench::{cases, PhaseSpec, TestHarness};
@@ -32,7 +33,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("lab: {message}");
-            eprintln!("usage: lab [--seed N] [--chip N] [--csv FILE] PHASE [PHASE ...]");
+            eprintln!("usage: lab [--seed N] [--chip N] [--csv FILE] [--json] [--out FILE] PHASE [PHASE ...]");
             eprintln!("       PHASE = Table-1 case name | burnin | dc|ac|sleep:temp:volts:hours[:sampling_min]");
             ExitCode::FAILURE
         }
@@ -65,6 +66,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
             "--csv" => {
                 csv_path = Some(iter.next().ok_or("--csv needs a path")?);
             }
+            // Consumed by BenchRun::start; skipped here.
+            "--json" => {}
+            "--out" => {
+                iter.next().ok_or("--out needs a path")?;
+            }
             "--help" | "-h" => {
                 return Err("help requested".to_string());
             }
@@ -75,16 +81,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return Err("no phases given".to_string());
     }
 
+    let mut bench = BenchRun::start("lab");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let chip = Chip::commercial_40nm(ChipId::new(chip_no), &mut rng);
     let mut harness = TestHarness::new(chip);
 
-    println!(
+    bench.say(format!(
         "lab session: chip {chip_no}, seed {seed}, {} phase(s)\n",
         phases.len()
-    );
+    ));
     let mut results = Vec::new();
     let mut fresh: Option<f64> = None;
+    let mut samples = 0usize;
     for spec in &phases {
         let records = harness
             .run_phase(spec, &mut rng)
@@ -92,39 +100,48 @@ fn run(args: Vec<String>) -> Result<(), String> {
         let start = records.first().unwrap().measurement.cut_delay.get();
         let end = records.last().unwrap().measurement.cut_delay.get();
         fresh.get_or_insert(start);
-        println!(
+        samples += records.len();
+        bench.say(format!(
             "{:<28} {:>7} -> {:>7} ns  (delta {:+.3} ns, {} samples)",
             spec.name,
             fmt(start, 3),
             fmt(end, 3),
             end - start,
             records.len()
-        );
+        ));
         results.push(selfheal_testbench::PhaseResult {
             name: spec.name.clone(),
             records,
         });
     }
 
-    if let (Some(fresh), Some(last)) = (
-        fresh,
-        results
-            .last()
-            .and_then(|r| r.records.last())
-            .map(|r| r.measurement.cut_delay.get()),
-    ) {
-        println!(
+    let last_delay = results
+        .last()
+        .and_then(|r| r.records.last())
+        .map(|r| r.measurement.cut_delay.get());
+    if let (Some(fresh), Some(last)) = (fresh, last_delay) {
+        bench.say(format!(
             "\nsession: {} h of chamber time, net shift {:+.3} ns vs session start",
             fmt(harness.total_elapsed().to_hours().get(), 1),
             last - fresh
-        );
+        ));
+        bench.value("net_shift_ns", last - fresh);
     }
 
     if let Some(path) = csv_path {
         let file = File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
         write_csv(BufWriter::new(file), &results).map_err(|e| format!("writing {path}: {e}"))?;
-        println!("measurement log written to {path}");
+        bench.say(format!("measurement log written to {path}"));
     }
+
+    let phase_names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    bench.value("phases", results.len() as f64);
+    bench.value("samples", samples as f64);
+    bench.value("chamber_hours", harness.total_elapsed().to_hours().get());
+    bench.finish(&format!(
+        "seed={seed} chip={chip_no} phases={}",
+        phase_names.join(",")
+    ));
     Ok(())
 }
 

@@ -2,16 +2,18 @@
 //! different locations on the FPGA, and a diagnostic program is run."
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin location_survey`.
+//! Pass `--json` for the run manifest instead of the human report.
 
 use rand::SeedableRng;
-use selfheal_bench::{fmt, Table};
+use selfheal_bench::{fmt, BenchRun, Table};
 use selfheal_bti::Environment;
 use selfheal_fpga::fabric::CutArray;
 use selfheal_fpga::{Family, RoMode};
 use selfheal_units::{Celsius, Hours, Millivolts, Volts};
 
 fn main() {
-    println!("Die survey: CUT delay across a 4 x 3 placement grid\n");
+    let mut run = BenchRun::start("location_survey");
+    run.say("Die survey: CUT delay across a 4 x 3 placement grid\n");
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(2014);
     let mut array = CutArray::sample(
@@ -34,29 +36,46 @@ fn main() {
             .collect()
     };
 
-    let fresh = snapshot(&array, &mut rng);
-    println!("fresh survey (ns), spread {}:\n", array.fresh_delay_spread());
+    let fresh = {
+        let _phase = run.phase("fresh-survey");
+        snapshot(&array, &mut rng)
+    };
+    run.say(format!(
+        "fresh survey (ns), spread {}:\n",
+        array.fresh_delay_spread()
+    ));
     let mut table = Table::new(&["site", "fresh (ns)", "aged (ns)", "shift (ns)"]);
 
     // Stress the whole fabric a day, then survey again.
-    array.advance(
-        RoMode::Static,
-        Environment::new(Volts::new(1.2), Celsius::new(110.0)),
-        Hours::new(24.0).into(),
-    );
-    let aged = snapshot(&array, &mut rng);
+    let aged = {
+        let _phase = run.phase("stress-and-resurvey");
+        array.advance(
+            RoMode::Static,
+            Environment::new(Volts::new(1.2), Celsius::new(110.0)),
+            Hours::new(24.0).into(),
+        );
+        snapshot(&array, &mut rng)
+    };
 
+    let mut worst_site_shift = 0.0f64;
     for ((site, f), (_, a)) in fresh.iter().zip(&aged) {
+        worst_site_shift = worst_site_shift.max(a - f);
         table.row(&[site, &fmt(*f, 3), &fmt(*a, 3), &fmt(a - f, 3)]);
     }
-    table.print();
+    run.table(&table);
 
     let (slowest, delay) = array.slowest_site();
-    println!(
+    run.say(format!(
         "\nslowest site after stress: {slowest} at {delay} — the survey's pick for a\n\
          worst-case CUT. Within-die spread comes from a systematic Vth gradient plus\n\
          local mismatch; every site ages by a comparable shift (same schedule), so the\n\
          relative ranking is stable — which is why the paper can measure one location\n\
-         per chip and still compare chips through the Recovered Delay metric."
-    );
+         per chip and still compare chips through the Recovered Delay metric.",
+    ));
+
+    run.value("sites", fresh.len() as f64);
+    run.value("fresh_spread_ns", array.fresh_delay_spread().get());
+    run.value("slowest_site_delay_ns", delay.get());
+    run.value("worst_site_shift_ns", worst_site_shift);
+    run.finish("grid=4x3 family=commercial_40nm stress=1.2V/110C/24h seed=2014");
 }

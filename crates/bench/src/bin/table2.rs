@@ -1,12 +1,17 @@
 //! Table 2 — delay change (%) for the different temperature conditions.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin table2`.
+//! Pass `--json` for the run manifest instead of the human report.
 
-use selfheal_bench::{campaign, fmt, Table};
+use selfheal_bench::{campaign, fmt, BenchRun, Table};
 
 fn main() {
-    println!("Table 2: Delay change (%) under different stress conditions (24 h)\n");
-    let outputs = campaign();
+    let mut run = BenchRun::start("table2");
+    run.say("Table 2: Delay change (%) under different stress conditions (24 h)\n");
+    let outputs = {
+        let _phase = run.phase("campaign");
+        campaign()
+    };
 
     let mut table = Table::new(&[
         "Case", "Chip", "T (degC)", "Activity", "Delay change (%)", "Freq. degradation (%)",
@@ -27,10 +32,21 @@ fn main() {
             &fmt(stress.total_degradation().get(), 3),
         ]);
     }
-    table.print();
+    run.table(&table);
 
-    println!(
+    run.say(
         "\npaper shape: 110 degC DC > 100 degC DC > 110 degC AC; the 48 h case adds only\n\
-         a little over the 24 h case (log-time wearout)."
+         a little over the 24 h case (log-time wearout).",
     );
+
+    let degradation = |name: &str| {
+        outputs
+            .stress(name)
+            .map(|s| s.total_degradation().get())
+            .unwrap_or(f64::NAN)
+    };
+    run.value("dc110_degradation_pct", degradation("AS110DC24"));
+    run.value("dc100_degradation_pct", degradation("AS100DC24"));
+    run.value("ac110_degradation_pct", degradation("AS110AC24"));
+    run.finish("campaign seed=2014 window=24h");
 }

@@ -2,12 +2,17 @@
 //! AR110N12 (48 h re-stress / 12 h) reach the same margin relaxation.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin table5`.
+//! Pass `--json` for the run manifest instead of the human report.
 
-use selfheal_bench::{campaign, fmt, paper, Table};
+use selfheal_bench::{campaign, fmt, paper, BenchRun, Table};
 
 fn main() {
-    println!("Table 5: Same ratio (alpha = 4), different stress conditions\n");
-    let outputs = campaign();
+    let mut run = BenchRun::start("table5");
+    run.say("Table 5: Same ratio (alpha = 4), different stress conditions\n");
+    let outputs = {
+        let _phase = run.phase("campaign");
+        campaign()
+    };
 
     let mut table = Table::new(&[
         "Case",
@@ -30,18 +35,23 @@ fn main() {
             &fmt(rec.margin_relaxed().get(), 1),
         ]);
     }
-    table.print();
+    run.table(&table);
 
     let short = outputs.recovery("AR110N6").unwrap().margin_relaxed().get();
     let long = outputs.recovery("AR110N12").unwrap().margin_relaxed().get();
-    println!(
+    run.say(format!(
         "\ndifference: {} percentage points (paper: \"in both cases, the same design\n\
          margin relaxed parameter can be achieved\")",
         fmt((short - long).abs(), 1)
-    );
-    println!(
+    ));
+    run.say(
         "\nNote the 48 h re-stress inflicts *less* fresh shift than the first 24 h did\n\
          (log-time wearout on an already-aged chip), yet the alpha = 4 sleep still\n\
-         relaxes the same fraction of it — the ratio, not the absolute time, governs."
+         relaxes the same fraction of it — the ratio, not the absolute time, governs.",
     );
+
+    run.value("ar110n6_margin_relaxed_pct", short);
+    run.value("ar110n12_margin_relaxed_pct", long);
+    run.value("margin_relaxed_gap_pp", (short - long).abs());
+    run.finish("campaign seed=2014 alpha=4 cases=AR110N6,AR110N12");
 }

@@ -4,21 +4,30 @@
 //! are also ignored for now") filled in.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin variation_study`.
+//! Pass `--json` for the run manifest instead of the human report.
 
 use selfheal::study::VariationStudy;
-use selfheal_bench::{fmt, paper, Table};
+use selfheal_bench::{fmt, paper, BenchRun, Table};
 
 fn main() {
+    let mut run = BenchRun::start("variation_study");
     let runs = 10;
-    println!("Variation study: {runs} independent five-chip populations (quick cadence)\n");
+    run.say(format!(
+        "Variation study: {runs} independent five-chip populations (quick cadence)\n"
+    ));
 
-    let outcome = VariationStudy {
-        runs,
-        base_seed: 2014,
-    }
-    .run();
+    // `run_with_manifest` captures the study's own manifest (per-phase
+    // timings + headline numbers) in addition to the bench one.
+    let (outcome, study_manifest) = {
+        let _phase = run.phase("study");
+        VariationStudy {
+            runs,
+            base_seed: 2014,
+        }
+        .run_with_manifest()
+    };
 
-    println!("Margin relaxed (%) per recovery condition:\n");
+    run.say("Margin relaxed (%) per recovery condition:\n");
     let mut table = Table::new(&["case", "mean", "std dev", "min", "max"]);
     for (name, stats) in &outcome.margin_relaxed {
         table.row(&[
@@ -29,9 +38,9 @@ fn main() {
             &fmt(stats.max, 1),
         ]);
     }
-    table.print();
+    run.table(&table);
 
-    println!("\nStress metrics:\n");
+    run.say("\nStress metrics:\n");
     let mut stress = Table::new(&["metric", "mean", "std dev", "min", "max"]);
     let d = &outcome.dc110_degradation;
     stress.row(&[
@@ -49,7 +58,7 @@ fn main() {
         &fmt(r.min, 2),
         &fmt(r.max, 2),
     ]);
-    stress.print();
+    run.table(&stress);
 
     let headline = outcome
         .margin_relaxed
@@ -57,7 +66,7 @@ fn main() {
         .find(|(n, _)| n == "AR110N6")
         .map(|(_, s)| s)
         .expect("headline case present");
-    println!(
+    run.say(format!(
         "\nthe paper's single-population 72.4 % headline sits {} the simulated\n\
          chip-to-chip spread ({} +/- {}): within-2-sigma = {}.",
         if headline.contains_within_sigma(paper::AR110N6_MARGIN_RELAXED_PERCENT, 2.0) {
@@ -68,5 +77,16 @@ fn main() {
         fmt(headline.mean, 1),
         fmt(headline.std_dev, 1),
         headline.contains_within_sigma(paper::AR110N6_MARGIN_RELAXED_PERCENT, 2.0),
-    );
+    ));
+
+    if !run.is_json() {
+        run.say(format!("\nstudy manifest:\n{}", study_manifest.render()));
+    }
+
+    run.value("runs", runs as f64);
+    run.value("ar110n6_margin_relaxed_mean_pct", headline.mean);
+    run.value("ar110n6_margin_relaxed_std_pct", headline.std_dev);
+    run.value("dc110_degradation_mean_pct", d.mean);
+    run.value("ac_over_dc_mean", r.mean);
+    run.finish("runs=10 base_seed=2014 cadence=quick");
 }

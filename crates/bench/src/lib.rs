@@ -13,8 +13,10 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use selfheal::experiment::{ExperimentOutputs, PaperExperiment};
+use selfheal_telemetry as telemetry;
 use selfheal_units::float;
 
 /// The seed all figure binaries share, so every artefact is drawn from
@@ -25,6 +27,119 @@ pub const CAMPAIGN_SEED: u64 = 2014;
 #[must_use]
 pub fn campaign() -> ExperimentOutputs {
     PaperExperiment::paper_cadence(CAMPAIGN_SEED).run()
+}
+
+/// One telemetry-backed run of a figure/table binary.
+///
+/// Every binary opens with [`BenchRun::start`], routes its human-readable
+/// report through [`say`](Self::say) / [`table`](Self::table), records
+/// headline numbers with [`value`](Self::value), and closes with
+/// [`finish`](Self::finish), which writes the run manifest (config hash,
+/// per-phase wall-clock timings, metric snapshot) to
+/// `target/manifests/<name>.json`.
+///
+/// Command-line behaviour common to all binaries:
+///
+/// * `--json` — suppress the human report and print the manifest JSON to
+///   stdout instead;
+/// * `--out <path>` — write the manifest to `<path>` instead of the
+///   default location;
+/// * `SELFHEAL_TELEMETRY=pretty|jsonl:<path>` — attach a span/event sink
+///   for the duration of the run.
+#[derive(Debug)]
+pub struct BenchRun {
+    name: &'static str,
+    json: bool,
+    out: Option<PathBuf>,
+    values: Vec<(String, f64)>,
+    _sink: Option<telemetry::SinkGuard>,
+}
+
+impl BenchRun {
+    /// Starts a run: parses `--json` / `--out`, attaches any env-configured
+    /// sink, and turns on metrics so the run accumulates a fresh snapshot.
+    #[must_use]
+    pub fn start(name: &'static str) -> Self {
+        let mut json = false;
+        let mut out = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => json = true,
+                "--out" => out = args.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        let sink = telemetry::init_from_env();
+        telemetry::metrics::reset();
+        telemetry::metrics::set_enabled(true);
+        BenchRun {
+            name,
+            json,
+            out,
+            values: Vec::new(),
+            _sink: sink,
+        }
+    }
+
+    /// Whether `--json` suppressed the human report.
+    #[must_use]
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// Prints one line of the human report (dropped under `--json`).
+    pub fn say(&self, text: impl std::fmt::Display) {
+        if !self.json {
+            println!("{text}");
+        }
+    }
+
+    /// Prints a [`Table`] as part of the human report (dropped under
+    /// `--json`).
+    pub fn table(&self, table: &Table) {
+        if !self.json {
+            table.print();
+        }
+    }
+
+    /// Opens a named phase span; bind the guard for the phase's extent.
+    /// Completed top-level phases become the manifest's timing entries.
+    #[must_use]
+    pub fn phase(&self, name: &'static str) -> telemetry::Span {
+        telemetry::span!(name)
+    }
+
+    /// Records a headline result: it lands in the manifest's `values` map
+    /// and, as `bench.<name>.<key>`, in the metric snapshot.
+    pub fn value(&mut self, key: &str, value: f64) {
+        telemetry::metrics::gauge_set(&format!("bench.{}.{key}", self.name), value);
+        self.values.push((key.to_string(), value));
+    }
+
+    /// Ends the run: captures the manifest, writes it to `--out` or
+    /// `target/manifests/<name>.json`, and under `--json` prints it to
+    /// stdout. Returns the manifest for callers that want to inspect it.
+    pub fn finish(self, config_repr: &str) -> telemetry::RunManifest {
+        let mut manifest = telemetry::RunManifest::capture(self.name, config_repr);
+        for (key, value) in &self.values {
+            manifest = manifest.with_number(key, *value);
+        }
+        let path = self
+            .out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("target/manifests/{}.json", self.name)));
+        if let Err(err) = manifest.write_to(&path) {
+            eprintln!("{}: could not write manifest to {}: {err}", self.name, path.display());
+        } else if !self.json {
+            println!("\nmanifest: {}", path.display());
+        }
+        if self.json {
+            println!("{}", manifest.render());
+        }
+        telemetry::flush_all();
+        manifest
+    }
 }
 
 /// Paper-reported reference values, quoted from the text and read off the

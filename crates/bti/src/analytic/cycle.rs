@@ -2,6 +2,7 @@
 //! plus a stateful wrapper that carries the first-order model across an
 //! arbitrary stress/recovery schedule.
 
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_units::{Millivolts, Ratio, Seconds};
 
@@ -112,6 +113,8 @@ impl AnalyticBti {
             Phase::Stress => self.advance_stress(cond, dt),
             Phase::Recovery => self.advance_recovery(cond.env(), dt),
         }
+        telemetry::counter!("bti.analytic.advance_calls", 1.0);
+        telemetry::gauge!("bti.analytic.delta_vth_mv", self.total_mv);
     }
 
     fn advance_stress(&mut self, cond: DeviceCondition, dt: Seconds) {

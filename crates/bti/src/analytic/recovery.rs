@@ -53,6 +53,7 @@ pub struct RecoveryModel {
     /// `g0`: base detrapping gain (passive recovery at 20 °C / 0 V).
     pub base_gain: f64,
     /// `bV` (1/V): gain added per volt of reverse bias.
+    // analyzer: allow(bare-physical-f64) -- compound unit (1/V), deferred per ROADMAP
     pub voltage_gain_per_volt: f64,
     /// Activation energy of the thermal gain term.
     pub thermal_activation: ElectronVolts,

@@ -46,6 +46,7 @@ pub struct StressModel {
     /// changes; 0.25 eV reproduces the modest Fig. 5 temperature gap.
     pub thermal_activation: ElectronVolts,
     /// Effective voltage acceleration of the amplitude, in 1/V.
+    // analyzer: allow(bare-physical-f64) -- compound unit (1/V), deferred per ROADMAP
     pub voltage_gain_per_volt: f64,
 }
 

@@ -19,8 +19,10 @@ use crate::condition::DeviceCondition;
 pub struct HciParams {
     /// Threshold drift per second of full-activity switching at the
     /// nominal 1.2 V supply and 110 °C, in mV/s.
+    // analyzer: allow(bare-physical-f64) -- compound unit (mV/s), deferred per ROADMAP
     pub drift_mv_per_s: f64,
     /// Drain-field acceleration per volt above nominal.
+    // analyzer: allow(bare-physical-f64) -- compound unit (1/V), deferred per ROADMAP
     pub field_per_volt: f64,
     /// *Negative* thermal activation (eV): colder channels hit harder.
     pub inverse_activation_ev: f64,

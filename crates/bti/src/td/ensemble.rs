@@ -1,6 +1,7 @@
 //! Per-transistor trap ensembles.
 
 use rand::Rng;
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_units::{Millivolts, Seconds};
 
@@ -25,9 +26,9 @@ use super::trap::Trap;
 pub struct TrapEnsembleParams {
     /// Mean number of BTI-active traps per device (Poisson distributed).
     pub mean_trap_count: f64,
-    /// Mean per-trap threshold step in millivolts (exponentially
-    /// distributed, as in TD-model literature).
-    pub delta_vth_mean_mv: f64,
+    /// Mean per-trap threshold step (exponentially distributed, as in
+    /// TD-model literature).
+    pub delta_vth_mean_mv: Millivolts,
     /// Range of `log10 τc0` in seconds at the reference stress condition.
     pub log10_tau_c_range: (f64, f64),
     /// Range of `log10 (τe0/τc0)`.
@@ -42,7 +43,7 @@ impl Default for TrapEnsembleParams {
     fn default() -> Self {
         TrapEnsembleParams {
             mean_trap_count: 40.0,
-            delta_vth_mean_mv: 2.3,
+            delta_vth_mean_mv: Millivolts::new(2.3),
             log10_tau_c_range: (2.5, 8.0),
             log10_tau_ratio_range: (-1.5, 1.5),
             permanent_fraction: 0.05,
@@ -65,7 +66,7 @@ impl TrapEnsembleParams {
         if self.mean_trap_count.is_nan() || self.mean_trap_count <= 0.0 {
             return Err(format!("mean trap count must be positive, got {}", self.mean_trap_count));
         }
-        if self.delta_vth_mean_mv.is_nan() || self.delta_vth_mean_mv <= 0.0 {
+        if self.delta_vth_mean_mv.get().is_nan() || self.delta_vth_mean_mv.get() <= 0.0 {
             return Err(format!("ΔVth mean must be positive, got {}", self.delta_vth_mean_mv));
         }
         if self.log10_tau_c_range.0 >= self.log10_tau_c_range.1 {
@@ -118,7 +119,7 @@ impl TrapEnsemble {
                 let tau_e = 10f64.powf(log_tau_c + ratio);
                 // Exponential per-trap step via inverse CDF.
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let step = -params.delta_vth_mean_mv * u.ln();
+                let step = -params.delta_vth_mean_mv.get() * u.ln();
                 let permanent = rng.gen_bool(params.permanent_fraction);
                 Trap::new(
                     Seconds::new(tau_c),
@@ -151,8 +152,23 @@ impl TrapEnsemble {
 
     /// Advances every trap by `dt` under a constant condition.
     pub fn advance(&mut self, cond: DeviceCondition, dt: Seconds) {
+        let metrics_on = telemetry::metrics::enabled();
+        let occupied_before = if metrics_on { self.expected_occupied() } else { 0.0 };
         for trap in &mut self.traps {
             trap.advance(cond, dt);
+        }
+        if metrics_on {
+            // Net expected occupancy change over the interval: the filled
+            // fraction grew by captures or shrank by emissions. Counters
+            // are f64 precisely so these fractional events accumulate.
+            let occupied_after = self.expected_occupied();
+            let net = occupied_after - occupied_before;
+            if net >= 0.0 {
+                telemetry::metrics::counter_add("bti.td.trap_captures", net);
+            } else {
+                telemetry::metrics::counter_add("bti.td.trap_emissions", -net);
+            }
+            telemetry::metrics::gauge_set("bti.td.expected_occupied", occupied_after);
         }
     }
 
@@ -402,7 +418,7 @@ mod tests {
         assert!(bad.validate().is_err(), "NaN must be rejected, not pass silently");
 
         let mut bad = good.clone();
-        bad.delta_vth_mean_mv = f64::NAN;
+        bad.delta_vth_mean_mv = Millivolts::new(f64::NAN);
         assert!(bad.validate().is_err());
 
         let mut bad = good.clone();
@@ -414,7 +430,7 @@ mod tests {
         assert!(bad.validate().is_err());
 
         let mut bad = good;
-        bad.delta_vth_mean_mv = -1.0;
+        bad.delta_vth_mean_mv = Millivolts::new(-1.0);
         assert!(bad.validate().is_err());
     }
 

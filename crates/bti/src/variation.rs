@@ -30,10 +30,10 @@ use selfheal_units::Millivolts;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ProcessVariation {
-    /// σ of the chip-level (global) Vth offset, in mV.
-    pub chip_sigma_mv: f64,
-    /// σ of per-device (local mismatch) Vth offset, in mV.
-    pub device_sigma_mv: f64,
+    /// σ of the chip-level (global) Vth offset.
+    pub chip_sigma_mv: Millivolts,
+    /// σ of per-device (local mismatch) Vth offset.
+    pub device_sigma_mv: Millivolts,
 }
 
 impl Default for ProcessVariation {
@@ -42,8 +42,8 @@ impl Default for ProcessVariation {
     /// fresh RO frequency, as in the paper's chip set.
     fn default() -> Self {
         ProcessVariation {
-            chip_sigma_mv: 10.0,
-            device_sigma_mv: 6.0,
+            chip_sigma_mv: Millivolts::new(10.0),
+            device_sigma_mv: Millivolts::new(6.0),
         }
     }
 }
@@ -54,21 +54,21 @@ impl ProcessVariation {
     #[must_use]
     pub fn none() -> Self {
         ProcessVariation {
-            chip_sigma_mv: 0.0,
-            device_sigma_mv: 0.0,
+            chip_sigma_mv: Millivolts::ZERO,
+            device_sigma_mv: Millivolts::ZERO,
         }
     }
 
     /// Samples the chip-level threshold offset.
     #[must_use]
     pub fn sample_chip_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> Millivolts {
-        Millivolts::new(sample_normal(rng) * self.chip_sigma_mv)
+        sample_normal(rng) * self.chip_sigma_mv
     }
 
     /// Samples a single device's local mismatch offset.
     #[must_use]
     pub fn sample_device_offset<R: Rng + ?Sized>(&self, rng: &mut R) -> Millivolts {
-        Millivolts::new(sample_normal(rng) * self.device_sigma_mv)
+        sample_normal(rng) * self.device_sigma_mv
     }
 }
 
@@ -120,8 +120,8 @@ mod tests {
     fn offset_scale_tracks_sigma() {
         let mut rng = StdRng::seed_from_u64(9);
         let pv = ProcessVariation {
-            chip_sigma_mv: 10.0,
-            device_sigma_mv: 6.0,
+            chip_sigma_mv: Millivolts::new(10.0),
+            device_sigma_mv: Millivolts::new(6.0),
         };
         let n = 5000;
         let chip_rms = ((0..n)

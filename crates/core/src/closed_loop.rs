@@ -8,6 +8,7 @@
 //! \[7, 8\]) measures, the policy decides, the supply and (locally
 //! controllable) temperature respond.
 
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_bti::Environment;
 use selfheal_fpga::{Chip, Odometer, RoMode};
@@ -95,6 +96,13 @@ pub fn run_closed_loop(
                 now += dt;
                 time_asleep += dt;
                 sleep_events += 1;
+                telemetry::event!(
+                    "core.closed_loop.sleep",
+                    t_s = now.get(),
+                    duration_s = dt.get(),
+                    margin_consumed = consumed.get(),
+                );
+                telemetry::counter!("core.closed_loop.sleep_events", 1.0);
             }
         }
     }

@@ -16,6 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_fpga::{Chip, ChipId};
 use selfheal_testbench::cases::{self, PhaseKind, TestCase};
@@ -158,6 +159,7 @@ impl PaperExperiment {
         let table = cases::table1();
 
         for chip_no in 1..=5u32 {
+            let _chip_span = telemetry::span!("experiment.chip", chip = chip_no);
             let chip_id = ChipId::new(chip_no);
             let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(u64::from(chip_no)));
             let chip = Chip::commercial_40nm(chip_id, &mut rng);
@@ -199,6 +201,12 @@ impl PaperExperiment {
             let mut chip_fresh: Option<Nanoseconds> = None;
             let mut cumulative_stress = Seconds::ZERO;
             for case in chip_cases {
+                telemetry::event!(
+                    "experiment.case",
+                    name = case.name,
+                    chip = chip_no,
+                    recovery = case.is_recovery(),
+                );
                 let mut spec = case.to_phase_spec();
                 spec.sampling_interval = match case.kind {
                     PhaseKind::Stress { .. } => self.stress_sampling,
@@ -260,6 +268,23 @@ impl PaperExperiment {
             }
         }
         outputs
+    }
+
+    /// Runs the whole campaign and captures a [`telemetry::RunManifest`]
+    /// of it: config hash, per-chip phase timings and the metric snapshot
+    /// accumulated during the run.
+    ///
+    /// Metrics recording is switched on for the duration so the manifest
+    /// is populated even when no sink is installed.
+    #[must_use]
+    pub fn run_with_manifest(&self) -> (ExperimentOutputs, telemetry::RunManifest) {
+        telemetry::metrics::set_enabled(true);
+        let outputs = self.run();
+        let manifest = telemetry::RunManifest::capture("paper-experiment", &format!("{self:?}"))
+            .with_number("chips", 5.0)
+            .with_number("stress_cases", outputs.stresses.len() as f64)
+            .with_number("recovery_cases", outputs.recoveries.len() as f64);
+        (outputs, manifest)
     }
 }
 

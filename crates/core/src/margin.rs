@@ -104,6 +104,7 @@ impl Default for MarginBudget {
 pub fn time_to_margin_exhaustion(
     model: &StressModel,
     env: Environment,
+    // analyzer: allow(bare-physical-f64) -- compound unit (ns/mV), deferred per ROADMAP
     beta_ns_per_mv: f64,
     margin: Nanoseconds,
 ) -> Option<Seconds> {

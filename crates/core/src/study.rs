@@ -7,6 +7,7 @@
 //! headline metric across process corners, trap-population draws, chamber
 //! wobble and counter noise.
 
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_units::float;
 
@@ -96,6 +97,7 @@ impl VariationStudy {
         let mut ratio = Vec::new();
 
         for i in 0..self.runs {
+            let _run_span = telemetry::span!("study.population", run = i);
             let outputs =
                 PaperExperiment::quick(self.base_seed.wrapping_add(i as u64 * 7919)).run();
             for (slot, name) in relaxed.iter_mut().zip(recovery_names) {
@@ -128,6 +130,26 @@ impl VariationStudy {
             dc110_degradation: stats_nonempty(&dc110),
             ac_over_dc: stats_nonempty(&ratio),
         }
+    }
+
+    /// Runs the study and captures a [`telemetry::RunManifest`] of it —
+    /// per-population span timings plus the accumulated metric snapshot.
+    ///
+    /// Metrics recording is switched on for the duration so the manifest
+    /// is populated even when no sink is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero, as [`Self::run`] does.
+    #[must_use]
+    pub fn run_with_manifest(&self) -> (VariationStudyOutcome, telemetry::RunManifest) {
+        telemetry::metrics::set_enabled(true);
+        let outcome = self.run();
+        let manifest = telemetry::RunManifest::capture("variation-study", &format!("{self:?}"))
+            .with_number("runs", outcome.runs as f64)
+            .with_number("dc110_degradation_mean", outcome.dc110_degradation.mean)
+            .with_number("ac_over_dc_mean", outcome.ac_over_dc.mean);
+        (outcome, manifest)
     }
 }
 

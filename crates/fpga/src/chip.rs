@@ -2,6 +2,7 @@
 //! measurement pipeline.
 
 use rand::Rng;
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_bti::Environment;
 use selfheal_units::{Hertz, Millivolts, Nanoseconds, Seconds};
@@ -143,11 +144,21 @@ impl Chip {
                 .map(|_| f64::from(self.counter.read(fosc, rng).count))
                 .sum::<f64>())
             / Self::READS_PER_MEASUREMENT as f64;
-        Measurement {
+        let measurement = Measurement {
             reading,
             frequency: self.counter.frequency_of_count(mean),
             cut_delay: self.counter.delay_of_count(mean),
-        }
+        };
+        telemetry::counter!("fpga.chip.measurements", 1.0);
+        telemetry::gauge!("fpga.chip.ro_frequency_mhz", measurement.frequency.get() / 1e6);
+        telemetry::gauge!("fpga.chip.cut_delay_ns", measurement.cut_delay.get());
+        telemetry::event!(
+            "fpga.chip.measure",
+            chip = self.id.get(),
+            frequency_mhz = measurement.frequency.get() / 1e6,
+            cut_delay_ns = measurement.cut_delay.get(),
+        );
+        measurement
     }
 
     /// Ages the chip for `dt` in the given RO mode and environment.

@@ -8,6 +8,7 @@
 //! read through one counter.
 
 use rand::Rng;
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_bti::Environment;
 use selfheal_units::{float, Millivolts, Nanoseconds, Seconds};
@@ -160,7 +161,21 @@ impl CutArray {
     ) -> Option<Nanoseconds> {
         let (_, ro) = self.cuts.iter().find(|(l, _)| *l == location)?;
         let mean = self.counter.read_averaged(ro.frequency(self.vdd), 8, rng);
-        Some(self.counter.delay_of_count(mean))
+        let delay = self.counter.delay_of_count(mean);
+        // Survey delays across the die land in one histogram, so a single
+        // snapshot shows the spatial POI spread §4.2 measures.
+        telemetry::histogram!(
+            "fpga.survey.poi_delay_ns",
+            &[4.0, 4.5, 5.0, 5.5, 6.0, 7.0],
+            delay.get(),
+        );
+        telemetry::event!(
+            "fpga.survey.measure",
+            row = u32::from(location.row),
+            column = u32::from(location.column),
+            delay_ns = delay.get(),
+        );
+        Some(delay)
     }
 
     /// Ages every site together (they share the fabric's schedule).

@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn without_variation_zeroes_sigmas() {
         let f = Family::commercial_40nm().without_variation();
-        assert_eq!(f.variation.chip_sigma_mv, 0.0);
-        assert_eq!(f.variation.device_sigma_mv, 0.0);
+        assert_eq!(f.variation.chip_sigma_mv.get(), 0.0);
+        assert_eq!(f.variation.device_sigma_mv.get(), 0.0);
     }
 }

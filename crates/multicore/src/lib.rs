@@ -19,6 +19,7 @@
 //! use selfheal_multicore::scheduler::CircadianRotation;
 //! use selfheal_multicore::sim::{MulticoreSim, SimConfig};
 //! use selfheal_multicore::workload::Workload;
+//! use selfheal_units::Millivolts;
 //!
 //! let mut sim = MulticoreSim::new(
 //!     SimConfig::default(),
@@ -26,7 +27,7 @@
 //!     Workload::constant(6),
 //! );
 //! let report = sim.run_days(10.0);
-//! assert!(report.worst_delta_vth_mv > 0.0, "cores age under load");
+//! assert!(report.worst_delta_vth_mv > Millivolts::ZERO, "cores age under load");
 //! ```
 
 #![forbid(unsafe_code)]

@@ -2,7 +2,7 @@
 //! wear budget — the "extending life time" half of §6.2's closing claim.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::{float, Seconds};
+use selfheal_units::{float, Millivolts, Seconds};
 
 use crate::scheduler::Scheduler;
 use crate::sim::{MulticoreSim, SimConfig};
@@ -19,7 +19,7 @@ pub struct LifetimeEstimate {
     /// The evaluation horizon.
     pub horizon: Seconds,
     /// Worst-core shift at the end (of exhaustion or horizon).
-    pub final_worst_mv: f64,
+    pub final_worst_mv: Millivolts,
 }
 
 impl LifetimeEstimate {
@@ -50,7 +50,7 @@ pub fn estimate_lifetime(
     while sim.now() < horizon {
         sim.step();
         let worst = float::max_of(sim.wear().iter().map(|m| m.get())).unwrap_or(0.0);
-        if worst >= margin {
+        if worst >= margin.get() {
             exhausted_after = Some(sim.now());
             break;
         }
@@ -84,7 +84,7 @@ mod tests {
         // rotation buys real lifetime. (Active cores on a busy die run
         // 90–110 °C here, so wear is fast.)
         SimConfig {
-            margin_mv: 40.0,
+            margin_mv: Millivolts::new(40.0),
             step: Hours::new(2.0).into(),
             ..SimConfig::default()
         }
@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn survivors_report_the_horizon_bound() {
         let generous = SimConfig {
-            margin_mv: 500.0,
+            margin_mv: Millivolts::new(500.0),
             step: Hours::new(6.0).into(),
             ..SimConfig::default()
         };
@@ -156,7 +156,7 @@ mod tests {
         );
         assert!(estimate.survived());
         assert!((estimate.lifetime_days() - 30.0).abs() < 0.5);
-        assert!(estimate.final_worst_mv < 500.0);
+        assert!(estimate.final_worst_mv < Millivolts::new(500.0));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use serde::{Deserialize, Serialize};
 use selfheal_bti::analytic::AnalyticBti;
 use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_telemetry as telemetry;
 use selfheal_units::{float, Fraction, Hours, Millivolts, Seconds, Volts};
 
 use crate::floorplan::Floorplan;
@@ -25,8 +26,8 @@ pub struct SimConfig {
     pub active_supply: Volts,
     /// Scheduling interval.
     pub step: Seconds,
-    /// Per-core threshold-shift budget (mV) for margin accounting.
-    pub margin_mv: f64,
+    /// Per-core threshold-shift budget for margin accounting.
+    pub margin_mv: Millivolts,
     /// Optional thermal design power cap in watts (§6.2: "for saving
     /// energy or for abiding by TDP limitations"). When set, the number
     /// of simultaneously active cores is capped at `tdp / active_power` —
@@ -45,7 +46,7 @@ impl Default for SimConfig {
             sleep_power_w: 0.0,
             active_supply: Volts::new(1.2),
             step: Hours::new(1.0).into(),
-            margin_mv: 45.0,
+            margin_mv: Millivolts::new(45.0),
             tdp_watts: None,
         }
     }
@@ -59,17 +60,19 @@ pub struct SystemReport {
     /// Simulated span in days.
     pub days: f64,
     /// Threshold shift of the worst core (the system's critical margin).
-    pub worst_delta_vth_mv: f64,
+    pub worst_delta_vth_mv: Millivolts,
     /// Mean threshold shift across cores.
-    pub mean_delta_vth_mv: f64,
+    pub mean_delta_vth_mv: Millivolts,
     /// Per-core shifts, in core order.
-    pub per_core_mv: Vec<f64>,
+    pub per_core_mv: Vec<Millivolts>,
     /// Worst core's margin consumption.
     pub worst_margin_consumed: Fraction,
     /// Core-seconds of useful work delivered.
+    // analyzer: allow(bare-physical-f64) -- compound unit (core·s), no newtype yet
     pub served_core_seconds: f64,
     /// Core-seconds of energy burned (active cores × time), the energy
     /// proxy that separates always-on from the demand-following policies.
+    // analyzer: allow(bare-physical-f64) -- compound unit (core·s), no newtype yet
     pub active_core_seconds: f64,
 }
 
@@ -77,12 +80,12 @@ impl SystemReport {
     /// Spread between the worst and best core — fixed-preference gating
     /// concentrates wear (large spread); rotation balances it.
     #[must_use]
-    pub fn wear_spread_mv(&self) -> f64 {
-        let max = float::max_of(self.per_core_mv.iter().copied());
-        let min = float::min_of(self.per_core_mv.iter().copied());
+    pub fn wear_spread_mv(&self) -> Millivolts {
+        let max = float::max_of(self.per_core_mv.iter().map(|mv| mv.get()));
+        let min = float::min_of(self.per_core_mv.iter().map(|mv| mv.get()));
         match (max, min) {
-            (Some(max), Some(min)) => max - min,
-            _ => 0.0,
+            (Some(max), Some(min)) => Millivolts::new(max - min),
+            _ => Millivolts::ZERO,
         }
     }
 }
@@ -194,6 +197,26 @@ impl MulticoreSim {
         self.served += (active_count.min(demand)) as f64 * dt.get();
         self.active_time += active_count as f64 * dt.get();
         self.now += dt;
+
+        telemetry::event!(
+            "multicore.scheduler.decision",
+            t_s = self.now.get(),
+            demand = demand,
+            active = active_count,
+            scheduler = self.scheduler.name()
+        );
+        telemetry::counter!("multicore.sim.steps", 1.0);
+        if telemetry::metrics::enabled() {
+            let worst = float::max_of(self.cores.iter().map(|c| c.delta_vth().get()))
+                .unwrap_or(0.0);
+            telemetry::metrics::gauge_set("multicore.worst_delta_vth_mv", worst);
+            let hottest = float::max_of(temps.iter().map(|t| t.get())).unwrap_or(0.0);
+            telemetry::metrics::histogram_observe(
+                "multicore.hottest_core_celsius",
+                &[40.0, 60.0, 80.0, 100.0, 120.0],
+                hottest,
+            );
+        }
     }
 
     /// Runs for (at least) the given number of days and reports.
@@ -208,18 +231,20 @@ impl MulticoreSim {
     /// Snapshot report of the current state.
     #[must_use]
     pub fn report(&self) -> SystemReport {
-        let per_core: Vec<f64> = self.cores.iter().map(|c| c.delta_vth().get()).collect();
-        let worst = float::max_of(per_core.iter().copied())
+        let per_core: Vec<Millivolts> =
+            self.cores.iter().map(AnalyticBti::delta_vth).collect();
+        let worst = float::max_of(per_core.iter().map(|mv| mv.get()))
             .unwrap_or(0.0)
             .max(0.0);
-        let mean = per_core.iter().sum::<f64>() / per_core.len().max(1) as f64;
+        let mean =
+            per_core.iter().map(|mv| mv.get()).sum::<f64>() / per_core.len().max(1) as f64;
         SystemReport {
             scheduler: self.scheduler.name().to_string(),
             days: self.now.get() / 86_400.0,
-            worst_delta_vth_mv: worst,
-            mean_delta_vth_mv: mean,
+            worst_delta_vth_mv: Millivolts::new(worst),
+            mean_delta_vth_mv: Millivolts::new(mean),
             per_core_mv: per_core,
-            worst_margin_consumed: Fraction::new(worst / self.config.margin_mv),
+            worst_margin_consumed: Fraction::new(worst / self.config.margin_mv.get()),
             served_core_seconds: self.served,
             active_core_seconds: self.active_time,
         }

@@ -1,0 +1,207 @@
+//! Events: the unit of data every sink consumes.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::json::Json;
+
+/// A typed field value attached to an event or span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A float (physical quantities enter telemetry as raw unit values).
+    F64(f64),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl FieldValue {
+    /// Converts to the JSON representation.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            FieldValue::F64(v) => Json::Number(*v),
+            // Telemetry counts stay far below 2^53, so the f64 mapping is
+            // exact for every value this workspace produces.
+            FieldValue::I64(v) => Json::Number(*v as f64),
+            FieldValue::U64(v) => Json::Number(*v as f64),
+            FieldValue::Bool(v) => Json::Bool(*v),
+            FieldValue::Str(v) => Json::String(v.clone()),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($ty:ty => $variant:ident via $conv:expr),* $(,)?) => {
+        $(impl From<$ty> for FieldValue {
+            fn from(value: $ty) -> Self {
+                #[allow(clippy::redundant_closure_call)]
+                FieldValue::$variant(($conv)(value))
+            }
+        })*
+    };
+}
+
+impl_from! {
+    f64 => F64 via |v| v,
+    f32 => F64 via f64::from,
+    i64 => I64 via |v| v,
+    i32 => I64 via i64::from,
+    u64 => U64 via |v| v,
+    u32 => U64 via u64::from,
+    usize => U64 via |v| v as u64,
+    bool => Bool via |v| v,
+    &str => Str via str::to_string,
+    String => Str via |v| v,
+}
+
+/// A named field.
+pub type Field = (&'static str, FieldValue);
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An instantaneous observation (`event!`).
+    Point,
+    /// A span opened (`span!` guard created).
+    SpanStart,
+    /// A span closed (guard dropped); carries the wall-clock duration.
+    SpanEnd,
+}
+
+impl EventKind {
+    /// Stable identifier used in JSON output.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            EventKind::Point => "event",
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+        }
+    }
+}
+
+/// One telemetry event, as delivered to sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// What kind of record this is.
+    pub kind: EventKind,
+    /// The event or span name.
+    pub name: String,
+    /// Id of the span this event belongs to (its own id for span events,
+    /// the enclosing span's for points; 0 when outside any span).
+    pub span_id: u64,
+    /// Id of the enclosing span (0 at the root).
+    pub parent_id: u64,
+    /// Nesting depth (0 for root spans and top-level points).
+    pub depth: usize,
+    /// Global monotone sequence number (total order across threads).
+    pub seq: u64,
+    /// Hash of the emitting thread's id — lets collectors running under a
+    /// multi-threaded test harness separate interleaved streams.
+    pub thread: u64,
+    /// Wall-clock duration in nanoseconds ([`EventKind::SpanEnd`] only).
+    pub wall_ns: Option<u128>,
+    /// The attached key/value fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Renders the event as a JSON object (one JSONL line).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("kind".to_string(), Json::String(self.kind.id().to_string())),
+            ("name".to_string(), Json::String(self.name.clone())),
+            ("span_id".to_string(), Json::Number(self.span_id as f64)),
+            ("parent_id".to_string(), Json::Number(self.parent_id as f64)),
+            ("depth".to_string(), Json::Number(self.depth as f64)),
+            ("seq".to_string(), Json::Number(self.seq as f64)),
+        ];
+        if let Some(ns) = self.wall_ns {
+            pairs.push(("wall_ns".to_string(), Json::Number(ns as f64)));
+        }
+        if !self.fields.is_empty() {
+            pairs.push((
+                "fields".to_string(),
+                Json::object(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::object(pairs)
+    }
+}
+
+/// A stable hash of the current thread's id.
+#[must_use]
+pub fn current_thread_hash() -> u64 {
+    let mut hasher = DefaultHasher::new();
+    std::thread::current().id().hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_conversions_cover_the_common_types() {
+        assert_eq!(FieldValue::from(1.5f64), FieldValue::F64(1.5));
+        assert_eq!(FieldValue::from(-3i32), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(7usize), FieldValue::U64(7));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".to_string()));
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let event = Event {
+            kind: EventKind::SpanEnd,
+            name: "recovery_phase".to_string(),
+            span_id: 3,
+            parent_id: 1,
+            depth: 1,
+            seq: 42,
+            thread: 9,
+            wall_ns: Some(1500),
+            fields: vec![("vddr_mv".to_string(), FieldValue::F64(-300.0))],
+        };
+        let json = event.to_json();
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("span_end"));
+        assert_eq!(json.get("wall_ns").and_then(Json::as_f64), Some(1500.0));
+        let fields = json.get("fields").expect("test value");
+        assert_eq!(fields.get("vddr_mv").and_then(Json::as_f64), Some(-300.0));
+    }
+
+    #[test]
+    fn point_event_omits_duration() {
+        let event = Event {
+            kind: EventKind::Point,
+            name: "chamber.set".to_string(),
+            span_id: 0,
+            parent_id: 0,
+            depth: 0,
+            seq: 1,
+            thread: 2,
+            wall_ns: None,
+            fields: Vec::new(),
+        };
+        let json = event.to_json();
+        assert!(json.get("wall_ns").is_none());
+        assert!(json.get("fields").is_none());
+    }
+
+    #[test]
+    fn thread_hash_is_stable_within_a_thread() {
+        assert_eq!(current_thread_hash(), current_thread_hash());
+    }
+}

@@ -1,0 +1,360 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Metrics are the "virtual odometers" of the simulation stack — cheap
+//! running aggregates (trap occupancy, RO frequency samples, per-core
+//! `ΔVth`, scheduler activations) that a run manifest snapshots at the end.
+//! Recording is globally gated by [`set_enabled`]: with metrics off every
+//! call is a single relaxed atomic load, so instrumentation can sit on hot
+//! paths without taxing the tier-1 test suite.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::json::Json;
+
+/// Whether metric recording is active (off by default).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The registry. A single mutex-protected map is deliberate: the
+/// simulation stack is effectively single-threaded per run, and the
+/// uncontended lock costs nanoseconds against micro-to-milliseconds of
+/// physics per instrumented call.
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Turns metric recording on or off.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether metric recording is active.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotone accumulator. Float-valued because the trap-ensemble
+    /// instrumentation counts *expected* (fractional) capture/emission
+    /// events.
+    Counter(f64),
+    /// Last-value-wins.
+    Gauge(f64),
+    /// A fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    /// JSON representation used by manifests and sinks.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Metric::Counter(v) | Metric::Gauge(v) => Json::Number(*v),
+            Metric::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// A histogram over fixed, caller-supplied bucket bounds.
+///
+/// Bucket `i` counts observations with `value <= bounds[i]` (and greater
+/// than the previous bound); one overflow bucket counts everything above
+/// the last bound. The bound list is fixed at first registration —
+/// re-registering the same name with different bounds keeps the original
+/// bounds (first writer wins, so concurrent tests cannot corrupt shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given upper bounds (must be finite and
+    /// strictly increasing; violations are a programming error).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty, non-finite or non-increasing bounds.
+    #[must_use]
+    pub fn with_bounds(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation. NaN observations land in the overflow
+    /// bucket (they compare greater-or-unordered against every bound) and
+    /// poison `sum`, which the manifest renders as `null` — visible, not
+    /// silently dropped.
+    pub fn observe(&mut self, value: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// The bucket upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries, overflow last).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// JSON representation.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            (
+                "bounds".to_string(),
+                Json::Array(self.bounds.iter().map(|b| Json::Number(*b)).collect()),
+            ),
+            (
+                "counts".to_string(),
+                Json::Array(self.counts.iter().map(|c| Json::Number(*c as f64)).collect()),
+            ),
+            ("sum".to_string(), Json::Number(self.sum)),
+            ("count".to_string(), Json::Number(self.count as f64)),
+        ])
+    }
+}
+
+/// Adds `delta` to the named counter (creating it at zero). Negative
+/// deltas are clamped to zero: counters are monotone by contract.
+pub fn counter_add(name: &str, delta: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry();
+    match map
+        .entry(name.to_string())
+        .or_insert(Metric::Counter(0.0))
+    {
+        Metric::Counter(total) => *total += delta.max(0.0),
+        _ => debug_assert!(false, "metric {name} is not a counter"),
+    }
+}
+
+/// Sets the named gauge.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry();
+    match map.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+        Metric::Gauge(current) => *current = value,
+        _ => debug_assert!(false, "metric {name} is not a gauge"),
+    }
+}
+
+/// Records an observation into the named histogram, registering it with
+/// `bounds` on first use.
+pub fn histogram_observe(name: &str, bounds: &[f64], value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry();
+    match map
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Histogram::with_bounds(bounds)))
+    {
+        Metric::Histogram(h) => h.observe(value),
+        _ => debug_assert!(false, "metric {name} is not a histogram"),
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, deterministically ordered.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsSnapshot {
+    /// Number of named metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the snapshot is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The named metric, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.metrics.get(name)
+    }
+
+    /// JSON object keyed by metric name.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object(
+            self.metrics
+                .iter()
+                .map(|(name, metric)| (name.clone(), metric.to_json()))
+                .collect(),
+        )
+    }
+}
+
+/// Copies the current registry contents.
+#[must_use]
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        metrics: registry().clone(),
+    }
+}
+
+/// Clears the registry (manifest capture resets between runs; tests use
+/// unique metric names instead, since the registry is process-global).
+pub fn reset() {
+    registry().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Enables metrics for the duration of a test body. Tests use unique
+    /// metric names, so parallel tests sharing the global registry and
+    /// the enabled flag (sticky-on during the suite) do not interfere.
+    fn with_metrics<T>(body: impl FnOnce() -> T) -> T {
+        set_enabled(true);
+        body()
+    }
+
+    #[test]
+    fn counters_accumulate_and_clamp() {
+        with_metrics(|| {
+            counter_add("test.m.counter_a", 2.0);
+            counter_add("test.m.counter_a", 0.5);
+            counter_add("test.m.counter_a", -10.0); // clamped: monotone
+            let snap = snapshot();
+            assert_eq!(snap.get("test.m.counter_a"), Some(&Metric::Counter(2.5)));
+        });
+    }
+
+    #[test]
+    fn gauges_take_the_last_value() {
+        with_metrics(|| {
+            gauge_set("test.m.gauge_a", 1.0);
+            gauge_set("test.m.gauge_a", -3.5);
+            assert_eq!(snapshot().get("test.m.gauge_a"), Some(&Metric::Gauge(-3.5)));
+        });
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // exactly on a bound → that bucket (le semantics)
+        h.observe(1.0000001); // bucket 1
+        h.observe(4.0); // bucket 2
+        h.observe(100.0); // overflow
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 106.500_000_1).abs() < 1e-6);
+        assert!((h.mean().expect("test value") - 21.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn histogram_nan_lands_in_overflow() {
+        let mut h = Histogram::with_bounds(&[1.0]);
+        h.observe(f64::NAN);
+        assert_eq!(h.counts(), &[0, 1]);
+        assert!(h.sum().is_nan(), "NaN poisons the sum visibly");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unordered_bounds() {
+        let _ = Histogram::with_bounds(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_histogram_first_bounds_win() {
+        with_metrics(|| {
+            histogram_observe("test.m.hist_a", &[10.0, 20.0], 5.0);
+            histogram_observe("test.m.hist_a", &[999.0], 15.0);
+            let snap = snapshot();
+            let Some(Metric::Histogram(h)) = snap.get("test.m.hist_a") else {
+                panic!("histogram registered");
+            };
+            assert_eq!(h.bounds(), &[10.0, 20.0]);
+            assert_eq!(h.count(), 2);
+        });
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        // Run in a dedicated thread-agnostic way: flip off, record, flip
+        // back on. Unique name keeps this observable regardless of other
+        // tests' ordering.
+        set_enabled(false);
+        counter_add("test.m.disabled", 1.0);
+        set_enabled(true);
+        assert_eq!(snapshot().get("test.m.disabled"), None);
+    }
+
+    #[test]
+    fn snapshot_renders_to_json() {
+        with_metrics(|| {
+            counter_add("test.m.json_counter", 3.0);
+            let json = snapshot().to_json();
+            assert_eq!(
+                json.get("test.m.json_counter").and_then(Json::as_f64),
+                Some(3.0)
+            );
+        });
+    }
+}

@@ -1,0 +1,309 @@
+//! Pluggable event sinks and the global sink registry.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::event::{current_thread_hash, Event};
+
+/// A destination for telemetry events.
+///
+/// Sinks must be cheap and infallible from the caller's point of view:
+/// I/O errors are swallowed (telemetry must never fail the simulation it
+/// observes).
+pub trait Sink: Send + Sync {
+    /// Delivers one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The global sink registry. Events broadcast to every installed sink.
+static SINKS: Mutex<Vec<(u64, Arc<dyn Sink>)>> = Mutex::new(Vec::new());
+/// Cached "any sink installed" flag, readable without the lock.
+static EVENTS_ON: AtomicBool = AtomicBool::new(false);
+/// Monotone ids for sink registrations.
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+/// Global event sequence counter.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Telemetry state is always consistent even if a panicking test poisoned
+/// the mutex: recover the guard and keep going.
+fn sinks() -> MutexGuard<'static, Vec<(u64, Arc<dyn Sink>)>> {
+    SINKS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True when at least one sink is installed (fast atomic check — the
+/// instrumentation's early-out).
+#[must_use]
+pub fn events_enabled() -> bool {
+    EVENTS_ON.load(Ordering::Relaxed)
+}
+
+/// Installs a sink; events flow to it until the returned guard drops.
+#[must_use = "the sink is removed when the guard drops"]
+pub fn install_sink(sink: Arc<dyn Sink>) -> SinkGuard {
+    let id = NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed);
+    let mut registry = sinks();
+    registry.push((id, sink));
+    EVENTS_ON.store(true, Ordering::Relaxed);
+    SinkGuard { id }
+}
+
+/// Removes the guarded sink on drop (flushing it first).
+#[derive(Debug)]
+pub struct SinkGuard {
+    id: u64,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let mut registry = sinks();
+        if let Some(at) = registry.iter().position(|(id, _)| *id == self.id) {
+            let (_, sink) = registry.remove(at);
+            sink.flush();
+        }
+        EVENTS_ON.store(!registry.is_empty(), Ordering::Relaxed);
+    }
+}
+
+/// Broadcasts a fully-formed event to every sink. Callers are expected to
+/// have checked [`events_enabled`] first; this re-checks cheaply anyway.
+pub fn dispatch(event: &Event) {
+    if !events_enabled() {
+        return;
+    }
+    let registry = sinks();
+    for (_, sink) in registry.iter() {
+        sink.record(event);
+    }
+}
+
+/// Claims the next global sequence number.
+#[must_use]
+pub fn next_seq() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Flushes every installed sink (bench binaries call this before exit).
+pub fn flush_all() {
+    let registry = sinks();
+    for (_, sink) in registry.iter() {
+        sink.flush();
+    }
+}
+
+/// Pretty-printer for interactive runs: one line per event on stderr,
+/// indented by span depth.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        let indent = "  ".repeat(event.depth);
+        let mut line = format!("[telemetry] {indent}{} {}", event.kind.id(), event.name);
+        if let Some(ns) = event.wall_ns {
+            let ms = ns as f64 / 1e6;
+            line.push_str(&format!(" ({ms:.3} ms)"));
+        }
+        for (key, value) in &event.fields {
+            line.push_str(&format!(" {key}={}", value.to_json().render()));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// JSONL file sink: one compact JSON object per line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the output file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Telemetry never fails the host program; a full disk just loses
+        // events.
+        let _ = writeln!(writer, "{}", event.to_json().render());
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writer.flush();
+    }
+}
+
+/// In-memory collector for tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty collector.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(MemorySink::default())
+    }
+
+    /// Removes and returns every collected event.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Removes and returns the events emitted by the calling thread —
+    /// the isolation primitive for tests running under a parallel harness.
+    #[must_use]
+    pub fn drain_current_thread(&self) -> Vec<Event> {
+        let me = current_thread_hash();
+        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        let (mine, others): (Vec<Event>, Vec<Event>) =
+            std::mem::take(&mut *events).into_iter().partition(|e| e.thread == me);
+        *events = others;
+        mine
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+}
+
+/// The environment variable holding the sink configuration.
+pub const ENV_VAR: &str = "SELFHEAL_TELEMETRY";
+
+/// Configures sinks from `SELFHEAL_TELEMETRY`:
+///
+/// * unset / empty / `off` — no sink (returns `None`);
+/// * `pretty` or `stderr` — the stderr pretty-printer;
+/// * `jsonl:<path>` — the JSONL file sink.
+///
+/// Unrecognized values and file-creation failures print one warning to
+/// stderr and return `None` — a typo in an env var must not kill a
+/// multi-hour simulation.
+#[must_use = "the sink is removed when the guard drops"]
+pub fn init_from_env() -> Option<SinkGuard> {
+    let value = std::env::var(ENV_VAR).ok()?;
+    match value.trim() {
+        "" | "off" => None,
+        "pretty" | "stderr" => Some(install_sink(Arc::new(StderrSink))),
+        spec => {
+            if let Some(path) = spec.strip_prefix("jsonl:") {
+                match JsonlSink::create(Path::new(path)) {
+                    Ok(sink) => Some(install_sink(Arc::new(sink))),
+                    Err(err) => {
+                        eprintln!("[telemetry] cannot open {path}: {err}; telemetry disabled");
+                        None
+                    }
+                }
+            } else {
+                eprintln!("[telemetry] unrecognized {ENV_VAR}={spec}; expected off | pretty | jsonl:<path>");
+                None
+            }
+        }
+    }
+}
+
+/// A scratch file path under the target directory (used by doc examples
+/// and tests; respects `TMPDIR` indirectly via [`std::env::temp_dir`]).
+#[must_use]
+pub fn scratch_path(file_name: &str) -> PathBuf {
+    std::env::temp_dir().join(file_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, FieldValue};
+
+    fn sample_event(name: &str) -> Event {
+        Event {
+            kind: EventKind::Point,
+            name: name.to_string(),
+            span_id: 0,
+            parent_id: 0,
+            depth: 0,
+            seq: next_seq(),
+            thread: current_thread_hash(),
+            wall_ns: None,
+            fields: vec![("k".to_string(), FieldValue::U64(1))],
+        }
+    }
+
+    #[test]
+    fn install_dispatch_drop_cycle() {
+        let memory = MemorySink::new();
+        {
+            let _guard = install_sink(memory.clone());
+            assert!(events_enabled());
+            dispatch(&sample_event("a"));
+        }
+        let mine = memory.drain_current_thread();
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].name, "a");
+        // After the guard dropped, dispatch is a no-op for this sink.
+        dispatch(&sample_event("b"));
+        assert!(memory.drain_current_thread().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = scratch_path(&format!(
+            "selfheal-telemetry-test-{}.jsonl",
+            current_thread_hash()
+        ));
+        {
+            let sink = JsonlSink::create(&path).expect("test value");
+            sink.record(&sample_event("x"));
+            sink.record(&sample_event("y"));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("test value");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let json = crate::json::parse(line).expect("test value");
+            assert_eq!(json.get("kind").and_then(crate::json::Json::as_str), Some("event"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn memory_sink_thread_isolation() {
+        let memory = MemorySink::new();
+        let _guard = install_sink(memory.clone());
+        dispatch(&sample_event("mine"));
+        let other = {
+            let memory = memory.clone();
+            std::thread::spawn(move || {
+                memory.record(&Event {
+                    thread: current_thread_hash(),
+                    ..sample_event("theirs")
+                });
+            })
+        };
+        other.join().expect("helper thread");
+        let mine = memory.drain_current_thread();
+        assert!(mine.iter().all(|e| e.name == "mine"), "{mine:?}");
+    }
+}

@@ -1,0 +1,266 @@
+//! Hierarchical spans with wall-clock timing, plus the phase ledger that
+//! feeds run manifests.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::event::{current_thread_hash, Event, EventKind, Field};
+use crate::sink;
+
+/// Monotone span ids, shared across threads (0 means "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The calling thread's open-span stack: `(span_id,)` innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One completed root span, as the manifest reports it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// The span's name.
+    pub name: String,
+    /// Wall-clock duration in seconds.
+    pub wall_s: f64,
+}
+
+/// Completed *root* spans (depth 0), in completion order, tagged with the
+/// emitting thread so manifests can be captured per thread.
+static PHASE_LEDGER: Mutex<Vec<(u64, PhaseTiming)>> = Mutex::new(Vec::new());
+
+fn ledger() -> MutexGuard<'static, Vec<(u64, PhaseTiming)>> {
+    PHASE_LEDGER.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Drains the calling thread's completed root-span timings — called by
+/// manifest capture so consecutive runs do not bleed into each other.
+#[must_use]
+pub fn take_phase_timings() -> Vec<PhaseTiming> {
+    let me = current_thread_hash();
+    let mut entries = ledger();
+    let (mine, others): (Vec<_>, Vec<_>) =
+        std::mem::take(&mut *entries).into_iter().partition(|(t, _)| *t == me);
+    *entries = others;
+    mine.into_iter().map(|(_, timing)| timing).collect()
+}
+
+/// An open span. Created by the [`crate::span!`] macro; closing happens on
+/// drop, which stamps the wall-clock duration, emits the `span_end` event
+/// and (for root spans) records the phase timing for the next manifest.
+#[derive(Debug)]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    id: u64,
+    parent_id: u64,
+    depth: usize,
+    name: String,
+    started: Instant,
+    fields: Vec<Field>,
+}
+
+impl Span {
+    /// Opens a span. Prefer the [`crate::span!`] macro, which skips all
+    /// work (including field construction) when telemetry is off.
+    #[must_use]
+    pub fn enter(name: &str, fields: Vec<Field>) -> Span {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let (parent_id, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            let depth = stack.len();
+            stack.push(id);
+            (parent, depth)
+        });
+        let inner = SpanInner {
+            id,
+            parent_id,
+            depth,
+            name: name.to_string(),
+            started: Instant::now(),
+            fields,
+        };
+        if sink::events_enabled() {
+            sink::dispatch(&inner.event(EventKind::SpanStart, None));
+        }
+        Span { inner: Some(inner) }
+    }
+
+    /// A disarmed span (telemetry off): construction and drop are free.
+    #[must_use]
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+
+    /// The span's id (0 when disarmed).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| s.id)
+    }
+
+    /// Wall-clock time since the span opened (zero when disarmed).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.inner
+            .as_ref()
+            .map_or(Duration::ZERO, |s| s.started.elapsed())
+    }
+}
+
+impl SpanInner {
+    fn event(&self, kind: EventKind, wall_ns: Option<u128>) -> Event {
+        Event {
+            kind,
+            name: self.name.clone(),
+            span_id: self.id,
+            parent_id: self.parent_id,
+            depth: self.depth,
+            seq: sink::next_seq(),
+            thread: current_thread_hash(),
+            wall_ns,
+            fields: self
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let elapsed = inner.started.elapsed();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Out-of-order drops cannot happen through the guard API, but
+            // be defensive: remove this id wherever it sits.
+            if let Some(at) = stack.iter().rposition(|id| *id == inner.id) {
+                stack.remove(at);
+            }
+        });
+        if sink::events_enabled() {
+            sink::dispatch(&inner.event(EventKind::SpanEnd, Some(elapsed.as_nanos())));
+        }
+        if inner.depth == 0 {
+            ledger().push((
+                current_thread_hash(),
+                PhaseTiming {
+                    name: inner.name,
+                    wall_s: elapsed.as_secs_f64(),
+                },
+            ));
+        }
+    }
+}
+
+/// The current span id on this thread (0 outside any span) — what point
+/// events attach themselves to.
+#[must_use]
+pub fn current_span_id() -> (u64, usize) {
+    STACK.with(|stack| {
+        let stack = stack.borrow();
+        (stack.last().copied().unwrap_or(0), stack.len())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{install_sink, MemorySink};
+
+    #[test]
+    fn nesting_tracks_parent_and_depth() {
+        let memory = MemorySink::new();
+        let _guard = install_sink(memory.clone());
+        {
+            let outer = Span::enter("outer", Vec::new());
+            {
+                let inner = Span::enter("inner", Vec::new());
+                assert_ne!(inner.id(), outer.id());
+            }
+        }
+        let events: Vec<Event> = memory.drain_current_thread();
+        let names: Vec<(&str, &str)> = events
+            .iter()
+            .map(|e| (e.kind.id(), e.name.as_str()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("span_start", "outer"),
+                ("span_start", "inner"),
+                ("span_end", "inner"),
+                ("span_end", "outer"),
+            ]
+        );
+        let inner_end = &events[2];
+        let outer_end = &events[3];
+        assert_eq!(inner_end.depth, 1);
+        assert_eq!(outer_end.depth, 0);
+        assert_eq!(inner_end.parent_id, outer_end.span_id);
+    }
+
+    #[test]
+    fn timing_is_monotone_and_nested_spans_are_shorter() {
+        let memory = MemorySink::new();
+        let _guard = install_sink(memory.clone());
+        {
+            let _outer = Span::enter("t_outer", Vec::new());
+            std::thread::sleep(Duration::from_millis(2));
+            let _inner = Span::enter("t_inner", Vec::new());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let events = memory.drain_current_thread();
+        let wall = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.kind == EventKind::SpanEnd && e.name == name)
+                .and_then(|e| e.wall_ns)
+                .expect("span_end with duration")
+        };
+        let outer = wall("t_outer");
+        let inner = wall("t_inner");
+        assert!(outer > 0 && inner > 0);
+        assert!(inner <= outer, "inner {inner} ns within outer {outer} ns");
+        // Sequence numbers are strictly increasing in emission order.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    }
+
+    #[test]
+    fn root_spans_feed_the_phase_ledger() {
+        let _ = take_phase_timings(); // isolate from earlier tests on this thread
+        {
+            let _a = Span::enter("phase_a", Vec::new());
+        }
+        {
+            let _b = Span::enter("phase_b", Vec::new());
+            let _nested = Span::enter("not_a_phase", Vec::new());
+        }
+        let phases = take_phase_timings();
+        let names: Vec<&str> = phases.iter().map(|p| p.name.as_str()).collect();
+        // Only root spans count — the nested span is not a phase.
+        assert_eq!(names, vec!["phase_a", "phase_b"]);
+        assert!(phases.iter().all(|p| p.wall_s >= 0.0));
+        // Draining leaves the ledger empty for the next capture.
+        assert!(take_phase_timings().is_empty());
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let span = Span::disabled();
+        assert_eq!(span.id(), 0);
+        assert_eq!(span.elapsed(), Duration::ZERO);
+        let (current, depth) = current_span_id();
+        assert_eq!(current, 0);
+        assert_eq!(depth, 0);
+    }
+}

@@ -52,12 +52,12 @@ impl std::error::Error for ChamberError {}
 pub struct ThermalChamber {
     setpoint: Celsius,
     range: (Celsius, Celsius),
-    fluctuation: f64,
+    fluctuation: Celsius,
 }
 
 impl ThermalChamber {
-    /// The paper's fluctuation bound in degrees.
-    pub const PAPER_FLUCTUATION: f64 = 0.3;
+    /// The paper's fluctuation bound.
+    pub const PAPER_FLUCTUATION: Celsius = Celsius::new(0.3);
 
     /// Creates a chamber supporting the given setpoint range.
     #[must_use]
@@ -82,7 +82,7 @@ impl ThermalChamber {
     /// A fluctuation-free copy (tests needing exact temperatures).
     #[must_use]
     pub fn without_fluctuation(mut self) -> Self {
-        self.fluctuation = 0.0;
+        self.fluctuation = Celsius::new(0.0);
         self
     }
 
@@ -113,10 +113,11 @@ impl ThermalChamber {
     /// uniform fluctuation within the spec bound.
     #[must_use = "sampling the chamber draws from the RNG; dropping the reading wastes the draw"]
     pub fn temperature<R: Rng + ?Sized>(&self, rng: &mut R) -> Celsius {
-        if self.fluctuation == 0.0 {
+        let bound = self.fluctuation.get();
+        if bound == 0.0 {
             return self.setpoint;
         }
-        let wobble = rng.gen_range(-self.fluctuation..=self.fluctuation);
+        let wobble = rng.gen_range(-bound..=bound);
         self.setpoint.offset(wobble)
     }
 }
@@ -158,7 +159,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..200 {
             let t = chamber.temperature(&mut rng);
-            assert!((t.get() - 110.0).abs() <= ThermalChamber::PAPER_FLUCTUATION + 1e-12);
+            assert!((t.get() - 110.0).abs() <= ThermalChamber::PAPER_FLUCTUATION.get() + 1e-12);
         }
     }
 

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use rand::Rng;
+use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_bti::Environment;
 use selfheal_fpga::{Chip, Measurement, RoMode};
@@ -166,8 +167,16 @@ impl TestHarness {
         rng: &mut R,
     ) -> Result<Vec<MeasurementRecord>, HarnessError> {
         spec.validate().map_err(HarnessError::InvalidSpec)?;
+        let _phase_span = telemetry::span!(
+            "testbench.phase",
+            name = spec.name.as_str(),
+            mode = spec.mode.to_string(),
+            duration_s = spec.duration.get(),
+        );
         self.chamber.set_temperature(spec.temperature)?;
+        telemetry::event!("testbench.chamber.set", celsius = spec.temperature.get());
         self.supply.set_voltage(spec.supply)?;
+        telemetry::event!("testbench.supply.set", volts = spec.supply.get());
 
         let mut records = Vec::with_capacity(spec.step_count() + 1);
         let mut record = |harness: &TestHarness, elapsed: Seconds, rng: &mut R| {
@@ -194,6 +203,7 @@ impl TestHarness {
             self.total_elapsed += dt;
             record(self, elapsed, rng);
         }
+        telemetry::counter!("testbench.samples", records.len() as f64);
         Ok(records)
     }
 

@@ -1,0 +1,105 @@
+//! The [`Quantity`] trait: a uniform view over every unit newtype.
+//!
+//! Telemetry and manifest code needs to strip any typed quantity down to
+//! its raw value plus a unit symbol without knowing the concrete type —
+//! a gauge stores `f64`, but the metric name and log line should carry
+//! the unit. `Quantity` is that bridge: one method, one associated
+//! constant, implemented for every newtype in this crate.
+
+use crate::{
+    Celsius, DutyCycle, ElectronVolts, Fraction, Hertz, Hours, Kelvin, Megahertz, Millivolts,
+    Minutes, Nanoseconds, Percent, Ratio, Seconds, Volts,
+};
+
+/// A physical quantity that can be flattened to a raw `f64` for
+/// telemetry, serialization or display.
+///
+/// Unlike [`get`](crate::Volts::get) on the concrete types, this trait
+/// lets generic instrumentation accept `impl Quantity` and record
+/// [`value`](Quantity::value) tagged with [`SYMBOL`](Quantity::SYMBOL).
+///
+/// # Examples
+///
+/// ```
+/// use selfheal_units::{Millivolts, Quantity, Volts};
+///
+/// fn record(q: impl Quantity) -> String {
+///     format!("{} {}", q.value(), q.symbol())
+/// }
+/// assert_eq!(record(Volts::new(-0.3)), "-0.3 V");
+/// assert_eq!(record(Millivolts::new(42.0)), "42 mV");
+/// ```
+pub trait Quantity: Copy {
+    /// The conventional unit symbol (`"V"`, `"mV"`, `"°C"`, ...).
+    const SYMBOL: &'static str;
+
+    /// The raw value in this quantity's unit, full precision.
+    fn value(self) -> f64;
+
+    /// The unit symbol, reachable through a value (handy where the
+    /// concrete type is inferred).
+    #[must_use]
+    fn symbol(&self) -> &'static str {
+        Self::SYMBOL
+    }
+}
+
+macro_rules! impl_quantity {
+    ($($ty:ty => $symbol:literal),* $(,)?) => {
+        $(impl Quantity for $ty {
+            const SYMBOL: &'static str = $symbol;
+            fn value(self) -> f64 {
+                self.get()
+            }
+        })*
+    };
+}
+
+impl_quantity! {
+    Volts => "V",
+    Millivolts => "mV",
+    Celsius => "°C",
+    Kelvin => "K",
+    Seconds => "s",
+    Minutes => "min",
+    Hours => "h",
+    Nanoseconds => "ns",
+    Hertz => "Hz",
+    Megahertz => "MHz",
+    ElectronVolts => "eV",
+    Fraction => "",
+    Percent => "%",
+    Ratio => "x",
+    DutyCycle => "",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_full_precision() {
+        let v = Volts::new(1.234_567_890_123_456);
+        assert_eq!(v.value(), v.get());
+        let mv = Millivolts::new(-300.000_000_1);
+        assert_eq!(mv.value(), -300.000_000_1);
+    }
+
+    #[test]
+    fn symbols_follow_convention() {
+        assert_eq!(Volts::SYMBOL, "V");
+        assert_eq!(Millivolts::SYMBOL, "mV");
+        assert_eq!(Celsius::SYMBOL, "°C");
+        assert_eq!(Megahertz::SYMBOL, "MHz");
+        assert_eq!(Percent::SYMBOL, "%");
+    }
+
+    #[test]
+    fn generic_instrumentation_compiles_over_any_quantity() {
+        fn flatten(q: impl Quantity) -> (f64, &'static str) {
+            (q.value(), q.symbol())
+        }
+        assert_eq!(flatten(Celsius::new(110.0)), (110.0, "°C"));
+        assert_eq!(flatten(Seconds::new(3.5)), (3.5, "s"));
+    }
+}

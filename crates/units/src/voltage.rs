@@ -174,6 +174,9 @@ impl From<Millivolts> for Volts {
 pub struct Millivolts(f64);
 
 impl Millivolts {
+    /// Zero millivolts — a fresh device's threshold shift.
+    pub const ZERO: Millivolts = Millivolts(0.0);
+
     /// Creates a voltage from a value in millivolts.
     #[must_use]
     pub const fn new(millivolts: f64) -> Self {
@@ -184,6 +187,31 @@ impl Millivolts {
     #[must_use]
     pub const fn get(self) -> f64 {
         self.0
+    }
+
+    /// Returns `true` if this is a reverse-bias (negative) shift.
+    #[must_use]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// Returns the magnitude of the shift.
+    #[must_use]
+    pub fn abs(self) -> Millivolts {
+        Millivolts(self.0.abs())
+    }
+
+    /// The larger of two shifts (NaN-propagating like `f64::max` is not:
+    /// prefers the non-NaN operand, matching wear-tracking needs).
+    #[must_use]
+    pub fn max(self, other: Millivolts) -> Millivolts {
+        Millivolts(self.0.max(other.0))
+    }
+
+    /// The smaller of two shifts.
+    #[must_use]
+    pub fn min(self, other: Millivolts) -> Millivolts {
+        Millivolts(self.0.min(other.0))
     }
 }
 
@@ -210,6 +238,61 @@ impl Sub for Millivolts {
     type Output = Millivolts;
     fn sub(self, rhs: Millivolts) -> Millivolts {
         Millivolts(self.0 - rhs.0)
+    }
+}
+
+impl AddAssign for Millivolts {
+    fn add_assign(&mut self, rhs: Millivolts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl SubAssign for Millivolts {
+    fn sub_assign(&mut self, rhs: Millivolts) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Millivolts {
+    type Output = Millivolts;
+    fn neg(self) -> Millivolts {
+        Millivolts(-self.0)
+    }
+}
+
+impl Mul<f64> for Millivolts {
+    type Output = Millivolts;
+    fn mul(self, rhs: f64) -> Millivolts {
+        Millivolts(self.0 * rhs)
+    }
+}
+
+impl Mul<Millivolts> for f64 {
+    type Output = Millivolts;
+    fn mul(self, rhs: Millivolts) -> Millivolts {
+        Millivolts(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Millivolts {
+    type Output = Millivolts;
+    fn div(self, rhs: f64) -> Millivolts {
+        Millivolts(self.0 / rhs)
+    }
+}
+
+impl Div<Millivolts> for Millivolts {
+    /// Dividing two shifts yields a dimensionless ratio (e.g. margin
+    /// consumption = wear / budget).
+    type Output = f64;
+    fn div(self, rhs: Millivolts) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Millivolts {
+    fn sum<I: Iterator<Item = Millivolts>>(iter: I) -> Millivolts {
+        Millivolts(iter.map(|v| v.0).sum())
     }
 }
 
@@ -282,5 +365,26 @@ mod tests {
     fn abs_strips_sign() {
         assert_eq!(Volts::new(-0.3).abs(), Volts::new(0.3));
         assert_eq!(Volts::new(0.3).abs(), Volts::new(0.3));
+    }
+
+    #[test]
+    fn millivolt_arithmetic_mirrors_volts() {
+        let a = Millivolts::new(40.0);
+        let b = Millivolts::new(5.0);
+        assert_eq!(a * 2.0, Millivolts::new(80.0));
+        assert_eq!(2.0 * b, Millivolts::new(10.0));
+        assert_eq!(a / 2.0, Millivolts::new(20.0));
+        assert!((a / b - 8.0).abs() < 1e-12);
+        assert_eq!(-b, Millivolts::new(-5.0));
+        assert!(Millivolts::new(-1.0).is_negative());
+        assert_eq!(Millivolts::new(-3.0).abs(), Millivolts::new(3.0));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let mut acc = Millivolts::ZERO;
+        acc += a;
+        acc -= b;
+        assert_eq!(acc, Millivolts::new(35.0));
+        let total: Millivolts = [a, b].into_iter().sum();
+        assert_eq!(total, Millivolts::new(45.0));
     }
 }

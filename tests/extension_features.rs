@@ -143,7 +143,7 @@ fn reactive_closed_loop_and_tdp_capped_multicore_compose() {
 
     // ...and a TDP-constrained multicore lifetime race, in one scenario.
     let config = SimConfig {
-        margin_mv: 40.0,
+        margin_mv: Millivolts::new(40.0),
         tdp_watts: Some(60.0),
         step: Hours::new(2.0).into(),
         ..SimConfig::default()

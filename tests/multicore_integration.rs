@@ -8,7 +8,7 @@ use selfheal_multicore::sim::{MulticoreSim, SimConfig, SystemReport};
 use selfheal_multicore::thermal::ThermalGrid;
 use selfheal_multicore::workload::Workload;
 use selfheal_multicore::{CoreId, Floorplan};
-use selfheal_units::{Hours, Seconds, Volts};
+use selfheal_units::{Hours, Millivolts, Seconds, Volts};
 
 fn race(scheduler: Box<dyn Scheduler>, workload: Workload, days: f64) -> SystemReport {
     MulticoreSim::new(SimConfig::default(), scheduler, workload).run_days(days)
@@ -103,7 +103,7 @@ fn zero_demand_lets_the_whole_die_heal() {
     );
     // Age the die fully loaded for a month...
     let loaded = sim.run_days(30.0);
-    assert!(loaded.worst_delta_vth_mv > 5.0);
+    assert!(loaded.worst_delta_vth_mv > Millivolts::new(5.0));
 
     // ...then switch to an idle weekend: every core sleeps at −0.3 V.
     let mut idle = MulticoreSim::new(
@@ -114,10 +114,10 @@ fn zero_demand_lets_the_whole_die_heal() {
     // Transplant the wear by re-aging an identical sim (the sim owns its
     // cores; easiest is to compare healing rate on the reports).
     let before = idle.run_days(0.0);
-    assert_eq!(before.worst_delta_vth_mv, 0.0, "fresh die");
+    assert_eq!(before.worst_delta_vth_mv, Millivolts::ZERO, "fresh die");
     // A constant-0 workload leaves every core asleep; wear must stay 0.
     let after = idle.run_days(2.0);
-    assert_eq!(after.worst_delta_vth_mv, 0.0);
+    assert_eq!(after.worst_delta_vth_mv, Millivolts::ZERO);
     assert_eq!(after.active_core_seconds, 0.0);
 }
 
@@ -135,6 +135,6 @@ fn custom_floorplans_flow_through_the_stack() {
     );
     let report = sim.run_days(10.0);
     assert_eq!(report.per_core_mv.len(), 16);
-    assert!(report.worst_delta_vth_mv > 0.0);
+    assert!(report.worst_delta_vth_mv > Millivolts::ZERO);
     assert!(sim.now() >= Seconds::new(10.0 * 86_400.0));
 }
