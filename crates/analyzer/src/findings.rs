@@ -7,7 +7,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
-/// The five domain lints the analyzer implements.
+/// The six domain lints the analyzer implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
     /// `pub fn` signatures passing physical quantities as bare `f64`.
@@ -20,15 +20,18 @@ pub enum Lint {
     SuspiciousPhysicalLiteral,
     /// Pure unit-returning accessors missing `#[must_use]`.
     MissingMustUse,
+    /// `std::thread::spawn` outside the execution-runtime crates.
+    RawThreadSpawn,
 }
 
 /// All lints, in reporting order.
-pub const ALL_LINTS: [Lint; 5] = [
+pub const ALL_LINTS: [Lint; 6] = [
     Lint::BarePhysicalF64,
     Lint::NanUnsafeOrdering,
     Lint::UnwrapInLib,
     Lint::SuspiciousPhysicalLiteral,
     Lint::MissingMustUse,
+    Lint::RawThreadSpawn,
 ];
 
 /// How serious a finding is. Every non-baselined finding gates the
@@ -60,6 +63,7 @@ impl Lint {
             Lint::UnwrapInLib => "unwrap-in-lib",
             Lint::SuspiciousPhysicalLiteral => "suspicious-physical-literal",
             Lint::MissingMustUse => "missing-must-use",
+            Lint::RawThreadSpawn => "raw-thread-spawn",
         }
     }
 
@@ -67,7 +71,7 @@ impl Lint {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Lint::NanUnsafeOrdering | Lint::UnwrapInLib => Severity::Error,
+            Lint::NanUnsafeOrdering | Lint::UnwrapInLib | Lint::RawThreadSpawn => Severity::Error,
             Lint::BarePhysicalF64
             | Lint::SuspiciousPhysicalLiteral
             | Lint::MissingMustUse => Severity::Warning,
@@ -92,6 +96,9 @@ impl Lint {
             }
             Lint::MissingMustUse => {
                 "pure unit-returning accessors must carry #[must_use]"
+            }
+            Lint::RawThreadSpawn => {
+                "thread parallelism must go through selfheal-runtime's deterministic pool, not std::thread::spawn"
             }
         }
     }

@@ -1,4 +1,4 @@
-//! The five domain lints, implemented over the token stream.
+//! The six domain lints, implemented over the token stream.
 
 use std::path::Path;
 
@@ -59,6 +59,12 @@ const UNWRAP_GATED_CRATES: [&str; 4] = [
     "selfheal-multicore",
 ];
 
+/// Crates allowed to spawn OS threads directly: the execution runtime
+/// (which owns the worker pool) and the telemetry layer (whose sinks are
+/// thread-aware by design). Everyone else goes through the pool, which
+/// preserves determinism and keeps spans/metrics flowing.
+const THREAD_SPAWN_EXEMPT_CRATES: [&str; 2] = ["selfheal-runtime", "selfheal-telemetry"];
+
 /// The selfheal-units newtypes (plus `Self` constructors excluded).
 const UNIT_TYPES: [&str; 15] = [
     "Volts",
@@ -105,6 +111,9 @@ pub fn run_all(path: &Path, lexed: &LexedFile, ctx: &FileContext) -> Vec<Finding
     if non_test_code {
         findings.extend(nan_unsafe_ordering(path, tokens, &mask));
         findings.extend(suspicious_physical_literal(path, tokens, &mask));
+        if !THREAD_SPAWN_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
+            findings.extend(raw_thread_spawn(path, tokens, &mask));
+        }
     }
     if ctx.is_lib {
         let sigs = parse_pub_fns(tokens, &mask);
@@ -365,6 +374,33 @@ fn receiver_is_partial_cmp(tokens: &[Token], dot: usize) -> bool {
     k > 0 && tokens[k - 1].is_ident("partial_cmp")
 }
 
+/// Lint: `std::thread::spawn` (or `thread::spawn`) outside the crates
+/// that own threading. Raw threads bypass the deterministic pool's
+/// seed-splitting and job ordering and silently drop their phase-ledger
+/// spans, so parallel work must go through `selfheal-runtime`.
+fn raw_thread_spawn(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        if t.is_ident("thread")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("spawn"))
+        {
+            out.push(Finding {
+                lint: Lint::RawThreadSpawn,
+                file: path.to_path_buf(),
+                line: t.line,
+                message: "std::thread::spawn bypasses the deterministic work-stealing pool (seed splitting, span draining, panic isolation); use selfheal_runtime::par_map or Pool".to_string(),
+                snippet: "thread::spawn".to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Plausible silicon operating ranges for literal constructor args.
 const LITERAL_RANGES: [(&str, f64, f64, &str); 2] = [
     ("Volts", -0.5, 1.5, "V"),
@@ -611,6 +647,34 @@ mod tests {
     #[test]
     fn allow_comment_suppresses_next_line() {
         let src = "// analyzer: allow(unwrap-in-lib)\nfn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(run(src, &FileContext::lib("selfheal-bti")).is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_flagged_outside_runtime_crates() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(
+            lint_ids(&run(src, &FileContext::lib("selfheal-bti"))),
+            vec!["raw-thread-spawn"]
+        );
+        // Short-path form is the same construct.
+        let short = "use std::thread;\nfn f() { thread::spawn(|| {}); }";
+        assert_eq!(
+            lint_ids(&run(short, &FileContext::lib("selfheal-bench"))),
+            vec!["raw-thread-spawn"]
+        );
+    }
+
+    #[test]
+    fn runtime_and_telemetry_may_spawn_threads() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(run(src, &FileContext::lib("selfheal-runtime")).is_empty());
+        assert!(run(src, &FileContext::lib("selfheal-telemetry")).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_in_test_region_is_fine() {
+        let src = "#[cfg(test)] mod tests { fn f() { std::thread::spawn(|| {}); } }";
         assert!(run(src, &FileContext::lib("selfheal-bti")).is_empty());
     }
 

@@ -1,0 +1,39 @@
+//! Fixture for the raw-thread-spawn lint. Checked as library code of a
+//! non-exempt crate; every line the analyzer must flag carries a
+//! trailing `//~ raw-thread-spawn` marker.
+
+use std::thread;
+
+fn fully_qualified() {
+    std::thread::spawn(|| {}); //~ raw-thread-spawn
+}
+
+fn short_path() {
+    let handle = thread::spawn(|| 42); //~ raw-thread-spawn
+    let _ = handle.join();
+}
+
+fn builder_is_a_different_construct() {
+    // `thread::Builder` is not matched — the runtime crate names its
+    // workers through it, and copying that pattern elsewhere still reads
+    // as deliberate; the lint targets the fire-and-forget form.
+    let _ = thread::Builder::new();
+}
+
+fn sleeping_is_not_spawning() {
+    thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn suppressed() {
+    // analyzer: allow(raw-thread-spawn)
+    std::thread::spawn(|| {});
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_spawn_helpers() {
+        let handle = std::thread::spawn(|| 1);
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+}

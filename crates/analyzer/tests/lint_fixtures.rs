@@ -94,6 +94,32 @@ fn missing_must_use_fixture() {
 }
 
 #[test]
+fn raw_thread_spawn_fixture() {
+    check(
+        "raw_thread_spawn.rs",
+        include_str!("fixtures/raw_thread_spawn.rs"),
+        &FileContext::lib("selfheal-bti"),
+    );
+}
+
+#[test]
+fn raw_thread_spawn_exempts_the_runtime_crates() {
+    // The same source is clean inside the crates that own threading.
+    let src = include_str!("fixtures/raw_thread_spawn.rs");
+    for crate_name in ["selfheal-runtime", "selfheal-telemetry"] {
+        let findings = analyze_source(
+            Path::new("raw_thread_spawn.rs"),
+            src,
+            &FileContext::lib(crate_name),
+        );
+        assert!(
+            findings.is_empty(),
+            "{crate_name} must be exempt: {findings:?}"
+        );
+    }
+}
+
+#[test]
 fn unwrap_gating_is_per_crate() {
     // The same unwrap-laden source is clean in a crate outside the
     // gated set (e.g. the bench plumbing) — the lint is a model-code

@@ -1,0 +1,84 @@
+//! Criterion bench: scaling of the `selfheal-runtime` work-stealing pool
+//! on the Fig. 5 ensemble workload, plus the result cache's hit/miss gap.
+//!
+//! Two families:
+//!
+//! * `runtime/ensemble_w{1,2,4,8}` — sample-and-stress a 64-device trap
+//!   population on pools of 1/2/4/8 workers. Results are bit-identical at
+//!   every width (the determinism suite pins that); only wall-clock moves.
+//!   On a single-core host the widths tie — the trajectory is the point.
+//! * `runtime/cache_{miss,hit}` — the same sampling stage through the
+//!   content-addressed result cache, forced-miss vs warmed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use selfheal_bti::td::{sample_population_cached, TrapEnsemble, TrapEnsembleParams};
+use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_runtime::{CacheOutcome, Pool, ResultCache, SeedSequence};
+use selfheal_units::{Celsius, Hours, Seconds, Volts};
+
+const DEVICES: usize = 64;
+const SEED: u64 = 2014;
+
+/// One Fig. 5-shaped unit of work: sample a device and run it through a
+/// 24 h DC stress at 110 °C.
+fn stressed_device(params: &TrapEnsembleParams, seeds: &SeedSequence, i: u64) -> f64 {
+    let mut device = TrapEnsemble::sample(params, &mut seeds.rng(i));
+    let stress =
+        DeviceCondition::dc_stress(Environment::new(Volts::new(1.2), Celsius::new(110.0)));
+    let dt: Seconds = Hours::new(24.0).into();
+    device.advance(stress, dt);
+    device.delta_vth().get()
+}
+
+fn ensemble_workload(pool: &Pool) -> f64 {
+    let params = TrapEnsembleParams::default();
+    let seeds = SeedSequence::new(SEED);
+    let shifts = pool.par_map_indexed(vec![(); DEVICES], move |i, ()| {
+        stressed_device(&params, &seeds, i as u64)
+    });
+    shifts.iter().sum()
+}
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    for workers in [1usize, 2, 4, 8] {
+        let pool = Pool::new(workers);
+        c.bench_function(&format!("runtime/ensemble_w{workers}"), |b| {
+            b.iter(|| black_box(ensemble_workload(&pool)));
+        });
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let root = std::env::temp_dir().join(format!("selfheal-runtime-scaling-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let cache = ResultCache::at(root.clone());
+    let params = TrapEnsembleParams::default();
+
+    c.bench_function("runtime/cache_miss", |b| {
+        let mut seed = SEED;
+        b.iter(|| {
+            // A fresh seed per iteration defeats the cache: every lookup
+            // recomputes and writes a new entry.
+            seed += 1;
+            let (population, outcome) = sample_population_cached(&params, DEVICES, seed, &cache);
+            assert_eq!(outcome, CacheOutcome::Miss);
+            black_box(population.len())
+        });
+    });
+
+    // Warm one entry, then time pure hits against it.
+    let (_, first) = sample_population_cached(&params, DEVICES, SEED, &cache);
+    assert_eq!(first, CacheOutcome::Miss);
+    c.bench_function("runtime/cache_hit", |b| {
+        b.iter(|| {
+            let (population, outcome) = sample_population_cached(&params, DEVICES, SEED, &cache);
+            assert_eq!(outcome, CacheOutcome::Hit);
+            black_box(population.len())
+        });
+    });
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+criterion_group!(benches, bench_pool_scaling, bench_cache);
+criterion_main!(benches);

@@ -43,7 +43,7 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
         telemetry::metrics::set_enabled(true);
         b.iter(|| {
             let report = day_of_steps();
-            sink.drain_current_thread();
+            let _ = sink.drain_current_thread();
             black_box(report)
         });
         telemetry::metrics::set_enabled(false);

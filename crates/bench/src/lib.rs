@@ -16,6 +16,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use selfheal::experiment::{ExperimentOutputs, PaperExperiment};
+use selfheal_runtime as runtime;
 use selfheal_telemetry as telemetry;
 use selfheal_units::float;
 
@@ -44,6 +45,11 @@ pub fn campaign() -> ExperimentOutputs {
 ///   stdout instead;
 /// * `--out <path>` — write the manifest to `<path>` instead of the
 ///   default location;
+/// * `--threads <n>` — size the `selfheal-runtime` global pool (`0` =
+///   inline serial; the default follows `SELFHEAL_THREADS` or the
+///   machine's parallelism). Results are bit-identical at any setting;
+/// * `--no-cache` — disable the `target/cache/` result cache for this
+///   run (every stage recomputes);
 /// * `SELFHEAL_TELEMETRY=pretty|jsonl:<path>` — attach a span/event sink
 ///   for the duration of the run.
 #[derive(Debug)]
@@ -67,6 +73,15 @@ impl BenchRun {
             match arg.as_str() {
                 "--json" => json = true,
                 "--out" => out = args.next().map(PathBuf::from),
+                "--threads" => {
+                    let threads = args.next().and_then(|raw| raw.parse::<usize>().ok());
+                    if let Some(threads) = threads {
+                        runtime::set_global_threads(threads);
+                    } else {
+                        eprintln!("{name}: --threads expects a worker count; ignoring");
+                    }
+                }
+                "--no-cache" => runtime::set_cache_enabled(false),
                 _ => {}
             }
         }

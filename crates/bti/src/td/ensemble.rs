@@ -139,6 +139,13 @@ impl TrapEnsemble {
         TrapEnsemble { traps: Vec::new() }
     }
 
+    /// Rebuilds an ensemble from explicit traps — the cache rehydration
+    /// path (see [`crate::td::sample_population_cached`]).
+    #[must_use]
+    pub fn from_traps(traps: Vec<Trap>) -> Self {
+        TrapEnsemble { traps }
+    }
+
     /// Number of traps in this device.
     #[must_use]
     pub fn trap_count(&self) -> usize {

@@ -14,9 +14,11 @@
 
 mod ensemble;
 mod kinetics;
+mod population;
 mod trap;
 
 pub use ensemble::{TrapEnsemble, TrapEnsembleParams};
+pub use population::{advance_population, sample_population, sample_population_cached};
 pub use kinetics::{
     capture_rate_multiplier, emission_rate_multiplier, emission_thermal_speedup,
     occupancy_relaxation,

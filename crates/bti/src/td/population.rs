@@ -1,0 +1,209 @@
+//! Device-population operations on top of the execution runtime.
+//!
+//! Monte Carlo figures (Fig. 5/6 ensembles, variation studies) work on
+//! *populations* of independently sampled devices. These helpers run the
+//! per-device work through `selfheal-runtime`'s deterministic pool:
+//! every device gets an RNG stream derived from `(seed, device index)`
+//! alone, so the population is bit-for-bit identical whether it was
+//! sampled serially or across any number of workers.
+
+use selfheal_runtime::{self as runtime, CacheOutcome, CacheRecord, ResultCache, SeedSequence};
+use selfheal_telemetry::{self as telemetry, json::Json};
+use selfheal_units::{Millivolts, Seconds};
+
+use crate::condition::DeviceCondition;
+
+use super::ensemble::{TrapEnsemble, TrapEnsembleParams};
+use super::trap::Trap;
+
+/// Samples `count` independent devices on the global pool.
+///
+/// Device `i` draws from the RNG stream `SeedSequence::new(seed).rng(i)`,
+/// which makes the population a pure function of `(params, count, seed)`
+/// — the determinism property the runtime test suite pins.
+///
+/// # Panics
+///
+/// Panics if `params` fails [`TrapEnsembleParams::validate`] (as
+/// [`TrapEnsemble::sample`] does).
+#[must_use]
+pub fn sample_population(
+    params: &TrapEnsembleParams,
+    count: usize,
+    seed: u64,
+) -> Vec<TrapEnsemble> {
+    // Caller-side root span: keeps the pool's internal spans nested, so
+    // manifests list the same phases at any worker count.
+    let _span = telemetry::span!("bti.population_sample", devices = count);
+    let params = params.clone();
+    let seeds = SeedSequence::new(seed);
+    runtime::par_map_indexed(vec![(); count], move |i, ()| {
+        TrapEnsemble::sample(&params, &mut seeds.rng(i as u64))
+    })
+}
+
+/// Advances every device by `dt` under a shared condition, in parallel.
+///
+/// Trap kinetics are deterministic given the state (no RNG), so the
+/// result is identical to a serial loop; the pool only buys wall-clock.
+#[must_use]
+pub fn advance_population(
+    devices: Vec<TrapEnsemble>,
+    cond: DeviceCondition,
+    dt: Seconds,
+) -> Vec<TrapEnsemble> {
+    let _span = telemetry::span!("bti.population_advance", devices = devices.len());
+    runtime::par_map(devices, move |mut device| {
+        device.advance(cond, dt);
+        device
+    })
+}
+
+/// Bump when the ensemble cache payload schema or the sampling
+/// procedure changes meaning.
+const POPULATION_CACHE_VERSION: u32 = 1;
+
+/// [`sample_population`] memoized through a [`ResultCache`].
+///
+/// The cache key encodes every sampling input (`params`, `count`,
+/// `seed`), and the stored traps round-trip bit-for-bit (the JSON layer
+/// writes shortest-round-trip floats), so a hit returns exactly the
+/// population a miss would have computed. Returns the population and
+/// whether the cache hit.
+#[must_use]
+pub fn sample_population_cached(
+    params: &TrapEnsembleParams,
+    count: usize,
+    seed: u64,
+    cache: &ResultCache,
+) -> (Vec<TrapEnsemble>, CacheOutcome) {
+    let key = format!("params={params:?};count={count};seed={seed}");
+    let (wrapper, outcome) = cache.get_or_compute("bti-population", POPULATION_CACHE_VERSION, &key, || {
+        PopulationRecord(sample_population(params, count, seed))
+    });
+    (wrapper.0, outcome)
+}
+
+/// Newtype giving a device population a cache-file representation.
+struct PopulationRecord(Vec<TrapEnsemble>);
+
+impl CacheRecord for PopulationRecord {
+    fn to_cache_json(&self) -> Json {
+        Json::Array(self.0.iter().map(ensemble_to_json).collect())
+    }
+
+    fn from_cache_json(json: &Json) -> Option<Self> {
+        let devices = json
+            .as_array()?
+            .iter()
+            .map(ensemble_from_json)
+            .collect::<Option<Vec<_>>>()?;
+        Some(PopulationRecord(devices))
+    }
+}
+
+fn ensemble_to_json(device: &TrapEnsemble) -> Json {
+    Json::Array(
+        device
+            .iter()
+            .map(|trap| {
+                Json::Array(vec![
+                    Json::Number(trap.tau_c0().get()),
+                    Json::Number(trap.tau_e0_raw().get()),
+                    Json::Number(trap.delta_vth_step().get()),
+                    Json::Bool(trap.is_permanent()),
+                    Json::Number(trap.occupancy()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn ensemble_from_json(json: &Json) -> Option<TrapEnsemble> {
+    let traps = json
+        .as_array()?
+        .iter()
+        .map(|entry| {
+            let fields = entry.as_array()?;
+            let [tau_c0, tau_e0, step, permanent, occupancy] = fields else {
+                return None;
+            };
+            let permanent = match permanent {
+                Json::Bool(b) => *b,
+                _ => return None,
+            };
+            Some(Trap::restore(
+                Seconds::new(tau_c0.as_f64()?),
+                Seconds::new(tau_e0.as_f64()?),
+                Millivolts::new(step.as_f64()?),
+                permanent,
+                occupancy.as_f64()?,
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(TrapEnsemble::from_traps(traps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Environment;
+    use selfheal_units::{Celsius, Hours, Volts};
+
+    fn stress() -> DeviceCondition {
+        DeviceCondition::dc_stress(Environment::new(Volts::new(1.2), Celsius::new(110.0)))
+    }
+
+    #[test]
+    fn population_is_a_pure_function_of_seed() {
+        let p = TrapEnsembleParams::default();
+        let a = sample_population(&p, 40, 7);
+        let b = sample_population(&p, 40, 7);
+        assert_eq!(a, b);
+        let c = sample_population(&p, 40, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_sampling_matches_manual_serial_loop() {
+        let p = TrapEnsembleParams::default();
+        let seeds = SeedSequence::new(2014);
+        let serial: Vec<TrapEnsemble> = (0..50)
+            .map(|i| TrapEnsemble::sample(&p, &mut seeds.rng(i)))
+            .collect();
+        let parallel = sample_population(&p, 50, 2014);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn cached_population_round_trips_bit_for_bit() {
+        let root = std::env::temp_dir().join(format!(
+            "selfheal-bti-popcache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let cache = ResultCache::at(root);
+        let p = TrapEnsembleParams::default();
+        // Advance before caching so occupancy state is non-trivial.
+        let (missed, o1) = sample_population_cached(&p, 20, 5, &cache);
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (hit, o2) = sample_population_cached(&p, 20, 5, &cache);
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert_eq!(missed, hit, "rehydrated population is bit-identical");
+        let (_, o3) = sample_population_cached(&p, 21, 5, &cache);
+        assert_eq!(o3, CacheOutcome::Miss, "count is part of the key");
+    }
+
+    #[test]
+    fn parallel_advance_matches_serial_advance() {
+        let p = TrapEnsembleParams::default();
+        let devices = sample_population(&p, 30, 99);
+        let dt: Seconds = Hours::new(24.0).into();
+        let mut serial = devices.clone();
+        for device in &mut serial {
+            device.advance(stress(), dt);
+        }
+        let parallel = advance_population(devices, stress(), dt);
+        assert_eq!(serial, parallel);
+    }
+}

@@ -60,10 +60,44 @@ impl Trap {
         }
     }
 
+    /// Rebuilds a trap from previously captured state — the cache
+    /// rehydration path ([`crate::td::sample_population_cached`]). Unlike
+    /// [`Trap::new`] this restores `occupancy` verbatim, so a cached
+    /// ensemble resumes exactly where it was stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid constants as [`Trap::new`], or if
+    /// `occupancy` lies outside `[0, 1]`.
+    #[must_use]
+    pub fn restore(
+        tau_c0: Seconds,
+        tau_e0: Seconds,
+        delta_vth: Millivolts,
+        permanent: bool,
+        occupancy: f64,
+    ) -> Self {
+        let mut trap = Trap::new(tau_c0, tau_e0, delta_vth, permanent);
+        assert!(
+            (0.0..=1.0).contains(&occupancy),
+            "occupancy must be a probability, got {occupancy}"
+        );
+        trap.occupancy = occupancy;
+        trap
+    }
+
     /// The tabulated capture time constant at reference stress.
     #[must_use]
     pub fn tau_c0(&self) -> Seconds {
         Seconds::new(self.tau_c0)
+    }
+
+    /// The raw tabulated emission constant, ignoring permanence (what
+    /// [`Trap::restore`] expects back; [`Trap::tau_e0`] reports infinity
+    /// for permanent traps instead).
+    #[must_use]
+    pub fn tau_e0_raw(&self) -> Seconds {
+        Seconds::new(self.tau_e0)
     }
 
     /// The tabulated emission time constant at reference rest.

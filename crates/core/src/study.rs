@@ -7,11 +7,19 @@
 //! headline metric across process corners, trap-population draws, chamber
 //! wobble and counter noise.
 
+use selfheal_runtime::{self as runtime, CacheOutcome, ResultCache};
 use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_units::float;
 
 use crate::experiment::PaperExperiment;
+
+/// The Table 1 recovery cases a study cell reports, in table order.
+const RECOVERY_NAMES: [&str; 5] = ["R20Z6", "AR20N6", "AR110Z6", "AR110N6", "AR110N12"];
+
+/// Bump whenever [`PaperExperiment`] or the cell extraction changes
+/// meaning — cached study cells from older code are then never read.
+const STUDY_CELL_CACHE_VERSION: u32 = 1;
 
 /// Summary statistics of one metric across campaign repetitions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,44 +93,63 @@ impl VariationStudy {
     /// Runs the study at the quick sampling cadence (the spread of the
     /// end-point metrics does not need dense curves).
     ///
+    /// Populations are independent, so they run concurrently on the
+    /// `selfheal-runtime` global pool; each population's metrics are a
+    /// pure function of its derived seed, so the outcome is identical to
+    /// the serial loop this replaced, at any worker count.
+    ///
     /// # Panics
     ///
     /// Panics if `runs` is zero.
     #[must_use]
     pub fn run(&self) -> VariationStudyOutcome {
+        self.run_cached(&ResultCache::disabled())
+    }
+
+    /// [`Self::run`] with study cells memoized through `cache`: a
+    /// population whose campaign configuration (cadence + derived seed)
+    /// was already evaluated is loaded instead of re-simulated. Bench
+    /// binaries pass [`ResultCache::standard`]; `--no-cache` turns the
+    /// loaded cache off globally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    #[must_use]
+    pub fn run_cached(&self, cache: &ResultCache) -> VariationStudyOutcome {
         assert!(self.runs > 0, "need at least one run");
-        let recovery_names = ["R20Z6", "AR20N6", "AR110Z6", "AR110N6", "AR110N12"];
-        let mut relaxed: Vec<Vec<f64>> = vec![Vec::new(); recovery_names.len()];
+        let _study_span = telemetry::span!("study.run", runs = self.runs);
+        let base_seed = self.base_seed;
+        let cache = cache.clone();
+        let cells = runtime::par_map_indexed(vec![(); self.runs], move |i, ()| {
+            let experiment = PaperExperiment::quick(base_seed.wrapping_add(i as u64 * 7919));
+            let key = format!("{experiment:?}");
+            let (cell, outcome) =
+                cache.get_or_compute("study-cell", STUDY_CELL_CACHE_VERSION, &key, || {
+                    study_cell(&experiment)
+                });
+            telemetry::event!(
+                "study.population",
+                run = i,
+                cached = outcome == CacheOutcome::Hit,
+            );
+            cell
+        });
+
+        let mut relaxed: Vec<Vec<f64>> = vec![Vec::new(); RECOVERY_NAMES.len()];
         let mut dc110 = Vec::new();
         let mut ratio = Vec::new();
-
-        for i in 0..self.runs {
-            let _run_span = telemetry::span!("study.population", run = i);
-            let outputs =
-                PaperExperiment::quick(self.base_seed.wrapping_add(i as u64 * 7919)).run();
-            for (slot, name) in relaxed.iter_mut().zip(recovery_names) {
-                let Some(case) = outputs.recovery(name) else {
-                    unreachable!("campaign always runs recovery case {name}");
-                };
-                slot.push(case.margin_relaxed().get());
+        for cell in &cells {
+            for (slot, value) in relaxed.iter_mut().zip(cell) {
+                slot.push(*value);
             }
-            let dcs: Vec<f64> = outputs
-                .stresses
-                .iter()
-                .filter(|s| s.case.name == "AS110DC24")
-                .map(|s| s.total_degradation().get())
-                .collect();
-            let dc_mean = dcs.iter().sum::<f64>() / dcs.len() as f64;
-            dc110.push(dc_mean);
-            let Some(ac_case) = outputs.stress("AS110AC24") else {
-                unreachable!("campaign always runs stress case AS110AC24");
-            };
-            ratio.push(ac_case.total_degradation().get() / dc_mean);
+            dc110.push(cell[RECOVERY_NAMES.len()]);
+            ratio.push(cell[RECOVERY_NAMES.len() + 1]);
         }
 
         VariationStudyOutcome {
             runs: self.runs,
-            margin_relaxed: recovery_names
+            margin_relaxed: RECOVERY_NAMES
                 .iter()
                 .zip(relaxed)
                 .map(|(name, samples)| ((*name).to_string(), stats_nonempty(&samples)))
@@ -144,13 +171,39 @@ impl VariationStudy {
     #[must_use]
     pub fn run_with_manifest(&self) -> (VariationStudyOutcome, telemetry::RunManifest) {
         telemetry::metrics::set_enabled(true);
-        let outcome = self.run();
+        let outcome = self.run_cached(&ResultCache::standard());
         let manifest = telemetry::RunManifest::capture("variation-study", &format!("{self:?}"))
             .with_number("runs", outcome.runs as f64)
             .with_number("dc110_degradation_mean", outcome.dc110_degradation.mean)
             .with_number("ac_over_dc_mean", outcome.ac_over_dc.mean);
         (outcome, manifest)
     }
+}
+
+/// One population's contribution to the study, as a flat cacheable
+/// vector: `[margin_relaxed × 5 (Table 1 order), dc110_mean, ac/dc]`.
+fn study_cell(experiment: &PaperExperiment) -> Vec<f64> {
+    let outputs = experiment.run();
+    let mut cell = Vec::with_capacity(RECOVERY_NAMES.len() + 2);
+    for name in RECOVERY_NAMES {
+        let Some(case) = outputs.recovery(name) else {
+            unreachable!("campaign always runs recovery case {name}");
+        };
+        cell.push(case.margin_relaxed().get());
+    }
+    let dcs: Vec<f64> = outputs
+        .stresses
+        .iter()
+        .filter(|s| s.case.name == "AS110DC24")
+        .map(|s| s.total_degradation().get())
+        .collect();
+    let dc_mean = dcs.iter().sum::<f64>() / dcs.len() as f64;
+    cell.push(dc_mean);
+    let Some(ac_case) = outputs.stress("AS110AC24") else {
+        unreachable!("campaign always runs stress case AS110AC24");
+    };
+    cell.push(ac_case.total_degradation().get() / dc_mean);
+    cell
 }
 
 /// Stats over a sample vector the study filled with one entry per run;
@@ -207,6 +260,25 @@ mod tests {
         );
         assert!(outcome.dc110_degradation.mean > 1.0 && outcome.dc110_degradation.mean < 4.0);
         assert!(outcome.ac_over_dc.mean > 0.3 && outcome.ac_over_dc.mean < 0.8);
+    }
+
+    #[test]
+    fn cached_study_matches_uncached() {
+        let root = std::env::temp_dir().join(format!(
+            "selfheal-study-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let study = VariationStudy {
+            runs: 2,
+            base_seed: 31,
+        };
+        let uncached = study.run();
+        let cache = ResultCache::at(root);
+        let first = study.run_cached(&cache);
+        let second = study.run_cached(&cache); // all cells hit
+        assert_eq!(uncached, first);
+        assert_eq!(first, second);
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! carrying a systematic within-die gradient plus local variation, all
 //! read through one counter.
 
+use std::sync::Arc;
+
 use rand::Rng;
+use selfheal_runtime::{self as runtime, SeedSequence};
 use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 use selfheal_bti::Environment;
@@ -124,6 +127,68 @@ impl CutArray {
             counter: FrequencyCounter::new(family.counter_bits, family.reference_clock),
             vdd: family.vdd_nominal,
         }
+    }
+
+    /// Samples a survey array with per-site RNG streams derived from
+    /// `seed` on the `selfheal-runtime` global pool.
+    ///
+    /// Unlike [`CutArray::sample`] (which advances one shared RNG
+    /// site-by-site and is therefore inherently serial), each site here
+    /// draws from `SeedSequence::new(seed).rng(site_index)` — a pure
+    /// function of `(family, corner_offset, grid, seed)`, bit-for-bit
+    /// identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn sample_seeded(
+        family: &Family,
+        corner_offset: Millivolts,
+        columns: u8,
+        rows: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(columns > 0 && rows > 0, "survey grid must be non-empty");
+        // Caller-side root span: keeps the pool's internal spans nested,
+        // so manifests list the same phases at any worker count.
+        let _span = telemetry::span!("fpga.fabric_sample", sites = columns as u64 * rows as u64);
+        let gradient = DieGradient::default();
+        let locations: Vec<DieLocation> = (0..rows)
+            .flat_map(|row| (0..columns).map(move |column| DieLocation { column, row }))
+            .collect();
+        let seeds = SeedSequence::new(seed);
+        let family_owned = family.clone();
+        let cuts = runtime::par_map_indexed(locations, move |i, location| {
+            let systematic = gradient.offset_at(location);
+            let offset = Millivolts::new(corner_offset.get() + systematic.get());
+            let mut rng = seeds.rng(i as u64);
+            (location, RingOscillator::sample(&family_owned, offset, &mut rng))
+        });
+        CutArray {
+            cuts,
+            gradient,
+            counter: FrequencyCounter::new(family.counter_bits, family.reference_clock),
+            vdd: family.vdd_nominal,
+        }
+    }
+
+    /// Surveys every site in parallel: measured CUT delay per location in
+    /// row-major order, with counter noise drawn from per-site streams
+    /// derived from `seed` — deterministic at any worker count.
+    #[must_use]
+    pub fn survey(&self, seed: u64) -> Vec<(DieLocation, Nanoseconds)> {
+        let _span = telemetry::span!("fpga.survey", sites = self.cuts.len());
+        let array = Arc::new(self.clone());
+        let locations: Vec<DieLocation> = self.locations().collect();
+        let seeds = SeedSequence::new(seed);
+        runtime::par_map_indexed(locations, move |i, location| {
+            let mut rng = seeds.rng(i as u64);
+            let Some(delay) = array.measure_at(location, &mut rng) else {
+                unreachable!("survey only visits locations the array contains");
+            };
+            (location, delay)
+        })
     }
 
     /// Number of survey sites.
@@ -325,6 +390,36 @@ mod tests {
         );
         let (_, d1) = a.slowest_site();
         assert!(d1 > d0);
+    }
+
+    #[test]
+    fn seeded_sampling_is_a_pure_function_of_inputs() {
+        let family = Family::commercial_40nm();
+        let a = CutArray::sample_seeded(&family, Millivolts::new(0.0), 4, 3, 9);
+        let b = CutArray::sample_seeded(&family, Millivolts::new(0.0), 4, 3, 9);
+        assert_eq!(a, b);
+        let c = CutArray::sample_seeded(&family, Millivolts::new(0.0), 4, 3, 10);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 12);
+        let locations: Vec<DieLocation> = a.locations().collect();
+        assert_eq!(locations[0], DieLocation { column: 0, row: 0 });
+        assert_eq!(locations[11], DieLocation { column: 3, row: 2 });
+    }
+
+    #[test]
+    fn parallel_survey_is_deterministic_and_accurate() {
+        let a = array();
+        let first = a.survey(55);
+        let second = a.survey(55);
+        assert_eq!(first, second);
+        assert_eq!(first.len(), a.len());
+        for (location, measured) in &first {
+            let truth = a.true_delay_at(*location).unwrap();
+            assert!(
+                (measured.get() - truth.get()).abs() / truth.get() < 1.5e-3,
+                "{location}: {measured} vs {truth}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Lifetime estimation: how long each scheduler keeps the die inside its
 //! wear budget — the "extending life time" half of §6.2's closing claim.
 
+use selfheal_runtime as runtime;
 use serde::{Deserialize, Serialize};
 use selfheal_units::{float, Millivolts, Seconds};
 
@@ -62,6 +63,50 @@ pub fn estimate_lifetime(
         horizon,
         final_worst_mv: report.worst_delta_vth_mv,
     }
+}
+
+/// One entry of a lifetime sweep: a labeled scheduler/workload/config
+/// combination for [`estimate_lifetimes`].
+pub struct LifetimeCase {
+    /// Label carried through to the result (e.g. the scheduler name).
+    pub label: String,
+    /// Simulation configuration.
+    pub config: SimConfig,
+    /// Scheduler under test. `Send` so the sweep can cross threads.
+    pub scheduler: Box<dyn Scheduler + Send>,
+    /// Workload trace.
+    pub workload: Workload,
+    /// Evaluation horizon.
+    pub horizon: Seconds,
+}
+
+impl std::fmt::Debug for LifetimeCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LifetimeCase")
+            .field("label", &self.label)
+            .field("config", &self.config)
+            .field("workload", &self.workload)
+            .field("horizon", &self.horizon)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs a sweep of lifetime estimates concurrently on the
+/// `selfheal-runtime` global pool.
+///
+/// Each case is an independent deterministic simulation (no RNG), so the
+/// results — returned in input order, paired with their labels — are
+/// identical to calling [`estimate_lifetime`] in a loop, at any worker
+/// count.
+#[must_use]
+pub fn estimate_lifetimes(cases: Vec<LifetimeCase>) -> Vec<(String, LifetimeEstimate)> {
+    // Caller-side root span: keeps the pool's internal spans nested, so
+    // manifests list the same phases at any worker count.
+    let _span = selfheal_telemetry::span!("multicore.lifetime_sweep", cases = cases.len());
+    runtime::par_map(cases, |case| {
+        let estimate = estimate_lifetime(case.config, case.scheduler, case.workload, case.horizon);
+        (case.label, estimate)
+    })
 }
 
 /// Lifetime-extension factor of `candidate` over `baseline` (both capped
@@ -157,6 +202,36 @@ mod tests {
         assert!(estimate.survived());
         assert!((estimate.lifetime_days() - 30.0).abs() < 0.5);
         assert!(estimate.final_worst_mv < Millivolts::new(500.0));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_individual_estimates() {
+        let sweep = estimate_lifetimes(vec![
+            LifetimeCase {
+                label: "always-on".to_string(),
+                config: tight_config(),
+                scheduler: Box::new(AlwaysOn),
+                workload: Workload::constant(6),
+                horizon: horizon(),
+            },
+            LifetimeCase {
+                label: "rotation".to_string(),
+                config: tight_config(),
+                scheduler: Box::new(CircadianRotation::paper_default()),
+                workload: Workload::constant(6),
+                horizon: horizon(),
+            },
+        ]);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].0, "always-on");
+        assert_eq!(sweep[1].0, "rotation");
+        let solo = estimate_lifetime(
+            tight_config(),
+            Box::new(AlwaysOn),
+            Workload::constant(6),
+            horizon(),
+        );
+        assert_eq!(sweep[0].1, solo, "sweep result identical to the loop");
     }
 
     #[test]

@@ -147,10 +147,48 @@ impl Histogram {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
-    /// JSON representation.
+    /// Estimated `q`-quantile (`q` in `[0, 1]`) by linear interpolation
+    /// within the covering bucket — the classic fixed-bucket estimator.
+    /// The first bucket interpolates from `min(0, bounds[0])`; overflow
+    /// observations report the last finite bound (the estimator cannot
+    /// see past it). `None` when the histogram is empty or `q` is NaN.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || q.is_nan() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (slot, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative + n;
+            if target <= next as f64 {
+                if slot >= self.bounds.len() {
+                    // Overflow bucket: unbounded above, report the edge.
+                    return self.bounds.last().copied();
+                }
+                let upper = self.bounds[slot];
+                let lower = if slot == 0 {
+                    self.bounds[0].min(0.0)
+                } else {
+                    self.bounds[slot - 1]
+                };
+                let within = (target - cumulative as f64) / n as f64;
+                return Some(lower + (upper - lower) * within.clamp(0.0, 1.0));
+            }
+            cumulative = next;
+        }
+        self.bounds.last().copied()
+    }
+
+    /// JSON representation: raw buckets plus p50/p90/p99 summaries (the
+    /// quantiles flow into manifest metric snapshots automatically).
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut fields = vec![
             (
                 "bounds".to_string(),
                 Json::Array(self.bounds.iter().map(|b| Json::Number(*b)).collect()),
@@ -161,7 +199,13 @@ impl Histogram {
             ),
             ("sum".to_string(), Json::Number(self.sum)),
             ("count".to_string(), Json::Number(self.count as f64)),
-        ])
+        ];
+        for (label, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+            if let Some(value) = self.quantile(q) {
+                fields.push((label.to_string(), Json::Number(value)));
+            }
+        }
+        Json::object(fields)
     }
 }
 
@@ -305,6 +349,53 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert!((h.sum() - 106.500_000_1).abs() < 1e-6);
         assert!((h.mean().expect("test value") - 21.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::with_bounds(&[10.0, 20.0, 40.0]);
+        for _ in 0..50 {
+            h.observe(5.0); // bucket 0: (0, 10]
+        }
+        for _ in 0..40 {
+            h.observe(15.0); // bucket 1: (10, 20]
+        }
+        for _ in 0..10 {
+            h.observe(30.0); // bucket 2: (20, 40]
+        }
+        // p50 sits exactly at the bucket-0/1 edge.
+        assert!((h.quantile(0.5).expect("test value") - 10.0).abs() < 1e-9);
+        // p90 at the bucket-1/2 edge, p99 deep in bucket 2.
+        assert!((h.quantile(0.9).expect("test value") - 20.0).abs() < 1e-9);
+        let p99 = h.quantile(0.99).expect("test value");
+        assert!(p99 > 20.0 && p99 <= 40.0, "p99 = {p99}");
+        // Extremes are clamped to the histogram's range.
+        assert!(h.quantile(0.0).expect("test value") >= 0.0);
+        assert!((h.quantile(1.0).expect("test value") - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_degenerate_cases() {
+        let empty = Histogram::with_bounds(&[1.0]);
+        assert_eq!(empty.quantile(0.5), None);
+        let mut h = Histogram::with_bounds(&[1.0, 2.0]);
+        h.observe(100.0); // everything in overflow
+        assert_eq!(h.quantile(0.5), Some(2.0), "overflow reports the edge");
+        assert_eq!(h.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn histogram_json_carries_quantiles() {
+        let mut h = Histogram::with_bounds(&[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(1.5);
+        let json = h.to_json();
+        assert!(json.get("p50").and_then(Json::as_f64).is_some());
+        assert!(json.get("p90").and_then(Json::as_f64).is_some());
+        assert!(json.get("p99").and_then(Json::as_f64).is_some());
+        // Empty histograms omit the summaries rather than inventing them.
+        let empty = Histogram::with_bounds(&[1.0]);
+        assert!(empty.to_json().get("p50").is_none());
     }
 
     #[test]

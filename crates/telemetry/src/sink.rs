@@ -113,6 +113,27 @@ impl Sink for StderrSink {
         }
         eprintln!("{line}");
     }
+
+    /// On flush (end of run), summarize every registered histogram with
+    /// count/mean and p50/p90/p99 — the interactive counterpart of the
+    /// quantiles the manifest snapshot stores.
+    fn flush(&self) {
+        for (name, metric) in crate::metrics::snapshot().metrics {
+            let crate::metrics::Metric::Histogram(h) = metric else {
+                continue;
+            };
+            let (Some(p50), Some(p90), Some(p99)) =
+                (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99))
+            else {
+                continue; // empty histogram: nothing to summarize
+            };
+            let mean = h.mean().unwrap_or(f64::NAN);
+            eprintln!(
+                "[telemetry] histogram {name}: n={} mean={mean:.4} p50={p50:.4} p90={p90:.4} p99={p99:.4}",
+                h.count(),
+            );
+        }
+    }
 }
 
 /// JSONL file sink: one compact JSON object per line.
