@@ -66,9 +66,10 @@ const UNWRAP_GATED_CRATES: [&str; 4] = [
 const THREAD_SPAWN_EXEMPT_CRATES: [&str; 2] = ["selfheal-runtime", "selfheal-telemetry"];
 
 /// The selfheal-units newtypes (plus `Self` constructors excluded).
-const UNIT_TYPES: [&str; 15] = [
+const UNIT_TYPES: [&str; 16] = [
     "Volts",
     "Millivolts",
+    "PerVolt",
     "ElectronVolts",
     "Celsius",
     "Kelvin",

@@ -1,0 +1,75 @@
+//! Criterion bench: the trap-kinetics kernel's three equivalent paths —
+//! per-trap scalar, hoisted rates, and the SoA bank — at 1k/10k/100k
+//! traps. The `trap_kernel` *binary* records the headline numbers to a
+//! manifest; this harness keeps the same comparison runnable under
+//! `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use selfheal_bti::td::{PhaseRates, Trap, TrapEnsemble, TrapEnsembleParams};
+use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_units::{Celsius, Millivolts, Minutes, Seconds, Volts};
+
+/// Exactly `size` traps from the default distributions
+/// ([`TrapEnsemble::sample`]'s Poisson count cannot reach these sizes).
+fn ensemble_of(size: usize, seed: u64) -> TrapEnsemble {
+    let params = TrapEnsembleParams::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lo, hi) = params.log10_tau_c_range;
+    let (rlo, rhi) = params.log10_tau_ratio_range;
+    let traps: Vec<Trap> = (0..size)
+        .map(|_| {
+            let log_tau_c = rng.gen_range(lo..hi);
+            let ratio = rng.gen_range(rlo..rhi);
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            Trap::new(
+                Seconds::new(10f64.powf(log_tau_c)),
+                Seconds::new(10f64.powf(log_tau_c + ratio)),
+                Millivolts::new(-params.delta_vth_mean_mv.get() * u.ln()),
+                rng.gen_bool(params.permanent_fraction),
+            )
+        })
+        .collect();
+    TrapEnsemble::from_traps(traps)
+}
+
+fn bench_trap_kernel(c: &mut Criterion) {
+    let cond = DeviceCondition::dc_stress(Environment::new(Volts::new(1.2), Celsius::new(110.0)));
+    let dt: Seconds = Minutes::new(20.0).into();
+
+    for (i, size) in [1_000usize, 10_000, 100_000].into_iter().enumerate() {
+        let ensemble = ensemble_of(size, 2014 + i as u64);
+        let traps: Vec<Trap> = ensemble.iter().collect();
+
+        c.bench_function(&format!("trap_kernel/scalar_{size}"), |b| {
+            let mut traps = traps.clone();
+            b.iter(|| {
+                for trap in &mut traps {
+                    trap.advance(black_box(cond), dt);
+                }
+            });
+        });
+
+        c.bench_function(&format!("trap_kernel/hoisted_{size}"), |b| {
+            let mut traps = traps.clone();
+            b.iter(|| {
+                let rates = PhaseRates::for_condition(black_box(cond));
+                for trap in &mut traps {
+                    trap.advance_with_rates(&rates, dt);
+                }
+            });
+        });
+
+        c.bench_function(&format!("trap_kernel/soa_{size}"), |b| {
+            let mut device = ensemble.clone();
+            b.iter(|| {
+                device.advance(black_box(cond), dt);
+                device.expected_occupied()
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_trap_kernel);
+criterion_main!(benches);

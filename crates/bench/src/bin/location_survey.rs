@@ -11,11 +11,13 @@ use selfheal_bench::{fmt, BenchRun, Table};
 use selfheal_bti::Environment;
 use selfheal_fpga::fabric::CutArray;
 use selfheal_fpga::{Family, RoMode};
+use selfheal_runtime::ResultCache;
 use selfheal_units::{Celsius, Hours, Millivolts, Volts};
 
 fn main() {
     let mut run = BenchRun::start("location_survey");
     run.say("Die survey: CUT delay across a 4 x 3 placement grid\n");
+    let cache = ResultCache::standard();
 
     let mut array = CutArray::sample_seeded(
         &Family::commercial_40nm(),
@@ -28,9 +30,9 @@ fn main() {
     // Parallel per-site surveys; distinct survey seeds keep the fresh
     // and aged measurement-noise draws independent, as two real bench
     // sessions would be.
-    let fresh = {
+    let (fresh, fresh_outcome) = {
         let _phase = run.phase("fresh-survey");
-        array.survey(1)
+        array.survey_cached(1, &cache)
     };
     run.say(format!(
         "fresh survey (ns), spread {}:\n",
@@ -39,15 +41,18 @@ fn main() {
     let mut table = Table::new(&["site", "fresh (ns)", "aged (ns)", "shift (ns)"]);
 
     // Stress the whole fabric a day, then survey again.
-    let aged = {
+    let (aged, aged_outcome) = {
         let _phase = run.phase("stress-and-resurvey");
         array.advance(
             RoMode::Static,
             Environment::new(Volts::new(1.2), Celsius::new(110.0)),
             Hours::new(24.0).into(),
         );
-        array.survey(2)
+        array.survey_cached(2, &cache)
     };
+    run.say(format!(
+        "result cache: fresh survey {fresh_outcome:?}, aged survey {aged_outcome:?}\n"
+    ));
 
     let mut worst_site_shift = 0.0f64;
     for ((site, f), (_, a)) in fresh.iter().zip(&aged) {

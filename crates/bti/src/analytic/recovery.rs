@@ -1,7 +1,7 @@
 //! Eq. (3)/(4): first-order accelerated recovery.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::{ElectronVolts, Fraction, Millivolts, Seconds};
+use selfheal_units::{ElectronVolts, Fraction, Millivolts, PerVolt, Seconds};
 
 use crate::condition::Environment;
 use crate::constants::ACTIVATION_ENERGY_EMISSION_EV;
@@ -52,9 +52,8 @@ pub struct RecoveryModel {
     pub log_rate_per_s: f64,
     /// `g0`: base detrapping gain (passive recovery at 20 °C / 0 V).
     pub base_gain: f64,
-    /// `bV` (1/V): gain added per volt of reverse bias.
-    // analyzer: allow(bare-physical-f64) -- compound unit (1/V), deferred per ROADMAP
-    pub voltage_gain_per_volt: f64,
+    /// `bV`: gain added per volt of reverse bias.
+    pub voltage_gain_per_volt: PerVolt,
     /// Activation energy of the thermal gain term.
     pub thermal_activation: ElectronVolts,
 }
@@ -69,7 +68,7 @@ impl Default for RecoveryModel {
             k2: 2.5,
             log_rate_per_s: 2e-2,
             base_gain: 0.6,
-            voltage_gain_per_volt: 14.0 / 3.0,
+            voltage_gain_per_volt: PerVolt::new(14.0 / 3.0),
             thermal_activation: ElectronVolts::new(ACTIVATION_ENERGY_EMISSION_EV),
         }
     }
@@ -85,7 +84,7 @@ impl RecoveryModel {
         let g_thermal = (self.thermal_activation.boltzmann_factor(env.temperature())
             / self.thermal_activation.boltzmann_factor(t20))
         .ln();
-        let g_voltage = self.voltage_gain_per_volt * (-env.supply().get()).max(0.0);
+        let g_voltage = self.voltage_gain_per_volt.get() * (-env.supply().get()).max(0.0);
         let total = (self.base_gain + g_voltage + g_thermal).max(0.0);
         1.0 - (-total).exp()
     }

@@ -1,7 +1,7 @@
 //! Eq. (1)/(2): first-order wearout under stress.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::{ElectronVolts, Millivolts, Seconds};
+use selfheal_units::{ElectronVolts, Millivolts, PerVolt, Seconds};
 
 use crate::condition::{DeviceCondition, Environment};
 use crate::constants::{reference_stress_voltage, reference_temperature};
@@ -45,9 +45,8 @@ pub struct StressModel {
     /// log-time trap dynamics compress rate changes into small amplitude
     /// changes; 0.25 eV reproduces the modest Fig. 5 temperature gap.
     pub thermal_activation: ElectronVolts,
-    /// Effective voltage acceleration of the amplitude, in 1/V.
-    // analyzer: allow(bare-physical-f64) -- compound unit (1/V), deferred per ROADMAP
-    pub voltage_gain_per_volt: f64,
+    /// Effective voltage acceleration of the amplitude.
+    pub voltage_gain_per_volt: PerVolt,
 }
 
 impl Default for StressModel {
@@ -59,7 +58,7 @@ impl Default for StressModel {
             log_rate_per_s: 1e-2,
             permanent_fraction: 0.05,
             thermal_activation: ElectronVolts::new(0.25),
-            voltage_gain_per_volt: 2.5,
+            voltage_gain_per_volt: PerVolt::new(2.5),
         }
     }
 }
@@ -79,7 +78,7 @@ impl StressModel {
         let thermal = self.thermal_activation.boltzmann_factor(env.temperature())
             / self.thermal_activation.boltzmann_factor(reference_temperature());
         let dv = env.supply() - reference_stress_voltage();
-        thermal * (self.voltage_gain_per_volt * dv.get()).exp()
+        thermal * (self.voltage_gain_per_volt * dv).exp()
     }
 
     /// Threshold shift after `t` of *continuous DC* stress from fresh

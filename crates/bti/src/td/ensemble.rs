@@ -7,6 +7,7 @@ use selfheal_units::{Millivolts, Seconds};
 
 use crate::condition::DeviceCondition;
 
+use super::kernel::{PhaseRates, TrapBank, TrapIter};
 use super::trap::Trap;
 
 /// Statistical description of a transistor's trap population.
@@ -91,9 +92,14 @@ impl TrapEnsembleParams {
 /// mutable aging state in the workspace: everything else (delay shifts,
 /// frequency degradation, margin metrics) is derived from ΔVth sums over
 /// ensembles.
+///
+/// Internally the traps live in a structure-of-arrays [`TrapBank`] (see
+/// [`crate::td::kernel`]); this type is the compatibility facade — the
+/// sampling, iteration, and reduction API is unchanged, and every path
+/// is bit-for-bit identical to the old per-[`Trap`] storage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrapEnsemble {
-    traps: Vec<Trap>,
+    bank: TrapBank,
 }
 
 impl TrapEnsemble {
@@ -109,7 +115,9 @@ impl TrapEnsemble {
             panic!("invalid trap ensemble parameters: {problem}");
         }
         let count = sample_poisson(params.mean_trap_count, rng);
-        let traps = (0..count)
+        // Draw into materialized traps first (preserving the historical
+        // per-trap RNG draw order), then pack into the bank.
+        let traps: Vec<Trap> = (0..count)
             .map(|_| {
                 let (lo, hi) = params.log10_tau_c_range;
                 let log_tau_c = rng.gen_range(lo..hi);
@@ -129,100 +137,116 @@ impl TrapEnsemble {
                 )
             })
             .collect();
-        TrapEnsemble { traps }
+        TrapEnsemble::from_traps(traps)
     }
 
     /// An ensemble with no traps — an ideal, ageless device. Useful as a
     /// control in tests.
     #[must_use]
     pub fn ageless() -> Self {
-        TrapEnsemble { traps: Vec::new() }
+        TrapEnsemble {
+            bank: TrapBank::new(),
+        }
     }
 
     /// Rebuilds an ensemble from explicit traps — the cache rehydration
     /// path (see [`crate::td::sample_population_cached`]).
     #[must_use]
     pub fn from_traps(traps: Vec<Trap>) -> Self {
-        TrapEnsemble { traps }
+        TrapEnsemble {
+            bank: TrapBank::from_traps(&traps),
+        }
     }
 
     /// Number of traps in this device.
     #[must_use]
     pub fn trap_count(&self) -> usize {
-        self.traps.len()
+        self.bank.len()
     }
 
-    /// Iterates over the traps.
-    pub fn iter(&self) -> std::slice::Iter<'_, Trap> {
-        self.traps.iter()
+    /// Iterates over the traps (materialized by value from the bank).
+    pub fn iter(&self) -> TrapIter<'_> {
+        self.bank.iter()
+    }
+
+    /// The underlying structure-of-arrays storage (read-only; benches
+    /// and diagnostics want the raw bank).
+    #[must_use]
+    pub fn bank(&self) -> &TrapBank {
+        &self.bank
     }
 
     /// Advances every trap by `dt` under a constant condition.
+    ///
+    /// Evaluates the condition's rate multipliers once for the whole
+    /// ensemble; phase loops that span many ensembles should evaluate
+    /// [`PhaseRates`] themselves and call
+    /// [`advance_with_rates`](Self::advance_with_rates).
     pub fn advance(&mut self, cond: DeviceCondition, dt: Seconds) {
-        let metrics_on = telemetry::metrics::enabled();
-        let occupied_before = if metrics_on { self.expected_occupied() } else { 0.0 };
-        for trap in &mut self.traps {
-            trap.advance(cond, dt);
-        }
-        if metrics_on {
+        self.advance_with_rates(&PhaseRates::for_condition(cond), dt);
+    }
+
+    /// [`advance`](Self::advance) with pre-evaluated rate multipliers —
+    /// the hoisted hot path. The occupancy telemetry comes out of the
+    /// kernel's fused advance pass, so no extra ensemble scans happen
+    /// whether metrics are on or off.
+    pub fn advance_with_rates(&mut self, rates: &PhaseRates, dt: Seconds) {
+        let stats = self.bank.advance_all(rates, dt);
+        if telemetry::metrics::enabled() {
             // Net expected occupancy change over the interval: the filled
             // fraction grew by captures or shrank by emissions. Counters
             // are f64 precisely so these fractional events accumulate.
-            let occupied_after = self.expected_occupied();
-            let net = occupied_after - occupied_before;
+            let net = stats.occupied_after - stats.occupied_before;
             if net >= 0.0 {
                 telemetry::metrics::counter_add("bti.td.trap_captures", net);
             } else {
                 telemetry::metrics::counter_add("bti.td.trap_emissions", -net);
             }
-            telemetry::metrics::gauge_set("bti.td.expected_occupied", occupied_after);
+            telemetry::metrics::gauge_set("bti.td.expected_occupied", stats.occupied_after);
+            telemetry::metrics::counter_add(
+                "bti.td.kernel.traps_advanced",
+                self.bank.len() as f64,
+            );
         }
     }
 
     /// Total expected threshold-voltage shift right now.
     #[must_use]
     pub fn delta_vth(&self) -> Millivolts {
-        Millivolts::new(self.traps.iter().map(|t| t.contribution().get()).sum())
+        self.bank.summary().delta_vth
     }
 
     /// The irreversible part of the current shift — what no amount of
     /// rejuvenation can heal.
     #[must_use]
     pub fn permanent_delta_vth(&self) -> Millivolts {
-        Millivolts::new(
-            self.traps
-                .iter()
-                .filter(|t| t.is_permanent())
-                .map(|t| t.contribution().get())
-                .sum(),
-        )
+        self.bank.summary().permanent_delta_vth
     }
 
     /// The healable part of the current shift.
     #[must_use]
     pub fn recoverable_delta_vth(&self) -> Millivolts {
-        Millivolts::new(self.delta_vth().get() - self.permanent_delta_vth().get())
+        let summary = self.bank.summary();
+        summary.delta_vth - summary.permanent_delta_vth
     }
 
     /// Expected number of occupied traps.
     #[must_use]
     pub fn expected_occupied(&self) -> f64 {
-        self.traps.iter().map(Trap::occupancy).sum()
+        self.bank.summary().expected_occupied
     }
 
     /// Resets every trap to the fresh state (test/baseline helper).
     pub fn reset(&mut self) {
-        for trap in &mut self.traps {
-            trap.reset();
-        }
+        self.bank.reset();
     }
 }
 
 impl<'a> IntoIterator for &'a TrapEnsemble {
-    type Item = &'a Trap;
-    type IntoIter = std::slice::Iter<'a, Trap>;
+    type Item = Trap;
+    type IntoIter = TrapIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.traps.iter()
+        self.bank.iter()
     }
 }
 

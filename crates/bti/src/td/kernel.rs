@@ -1,0 +1,520 @@
+//! The trap-kinetics throughput kernel: phase-level rate hoisting and a
+//! structure-of-arrays trap bank.
+//!
+//! Every experiment in the stack bottoms out in advancing trap
+//! occupancies, and the two rate multipliers that drive a step depend
+//! only on the [`DeviceCondition`] — not on the trap. The scalar path
+//! re-derived them per trap (two `exp` calls plus an Arrhenius factor
+//! each), which is millions of redundant transcendentals per run. This
+//! module restructures that hot path in three layers:
+//!
+//! 1. [`PhaseRates`] evaluates the multipliers **once per condition**
+//!    and is threaded through every advance loop, so a 24 h stress phase
+//!    over a whole chip computes its transcendentals once, not once per
+//!    trap.
+//! 2. [`PhaseRateCache`] memoizes `PhaseRates` across the handful of
+//!    distinct conditions a fan-out produces (stressed / recovering /
+//!    toggling devices under one environment), so higher layers can
+//!    share one evaluation across thousands of devices.
+//! 3. [`TrapBank`] stores an ensemble's traps as flat arrays
+//!    (structure-of-arrays) with a tight, branch-light
+//!    [`advance_all`](TrapBank::advance_all) kernel and a fused
+//!    single-pass [`summary`](TrapBank::summary) reduction replacing the
+//!    three separate iterator passes the AoS layout required.
+//!
+//! # Bit-exactness contract
+//!
+//! The kernel is **bit-for-bit identical** to the scalar
+//! [`Trap::advance`] path (pinned by `tests/kernel_equivalence.rs`):
+//!
+//! * The bank stores `tau` values, not reciprocals, and keeps the exact
+//!   `multiplier / tau` division of the scalar path — precomputing
+//!   `1/tau` would change rounding.
+//! * Permanent traps are **not** partitioned into a separate segment
+//!   (that would reorder the `delta_vth` summation); instead the bank
+//!   stores an *effective* emission time constant of `f64::INFINITY`
+//!   for them, which makes `emission_mult / tau_e` an exact `0.0` —
+//!   the same value the scalar path's `if permanent` branch produces —
+//!   while keeping the inner loop branch-free on that axis.
+//! * Each per-trap step performs the same guards in the same order as
+//!   [`Trap::advance`]: zero total rate and infinite `tau` freeze the
+//!   trap, the relaxation uses `exp(-dt / tau)` (not `exp(-dt * rate)`),
+//!   and the result is clamped to `[0, 1]` exactly as before.
+//! * Reductions accumulate in trap index order, so sums match the old
+//!   sequential iterator passes to the last ulp.
+
+use serde::{Deserialize, Serialize};
+use selfheal_units::{Millivolts, Seconds};
+
+use crate::condition::DeviceCondition;
+
+use super::kinetics::{capture_rate_multiplier, emission_rate_multiplier};
+use super::trap::Trap;
+
+/// Bump when the kernel's arithmetic or layout changes meaning.
+///
+/// Result-cache namespaces that store kernel-derived outputs (fabric
+/// surveys, per-chip experiment runs) use this as their version, so a
+/// kernel rewrite orphans stale entries instead of replaying them.
+pub const KERNEL_VERSION: u32 = 2;
+
+/// The two condition-dependent rate multipliers, evaluated once per
+/// phase instead of once per trap.
+///
+/// A `PhaseRates` is a pure function of its [`DeviceCondition`]; holding
+/// one fixed over a phase loop is exactly equivalent to re-deriving it
+/// per trap, because the per-trap arithmetic
+/// (`capture_mult / tau_c0`, `emission_mult / tau_e`) is unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use selfheal_bti::td::PhaseRates;
+/// use selfheal_bti::{DeviceCondition, Environment};
+/// use selfheal_units::{Celsius, Volts};
+///
+/// let cond = DeviceCondition::dc_stress(Environment::new(
+///     Volts::new(1.2),
+///     Celsius::new(110.0),
+/// ));
+/// let rates = PhaseRates::for_condition(cond);
+/// assert!(rates.capture_multiplier() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRates {
+    cond: DeviceCondition,
+    capture_mult: f64,
+    emission_mult: f64,
+}
+
+impl PhaseRates {
+    /// Evaluates both rate multipliers for `cond`.
+    #[must_use]
+    pub fn for_condition(cond: DeviceCondition) -> PhaseRates {
+        PhaseRates {
+            cond,
+            capture_mult: capture_rate_multiplier(cond),
+            emission_mult: emission_rate_multiplier(cond),
+        }
+    }
+
+    /// The condition these rates were evaluated for.
+    #[must_use]
+    pub fn condition(&self) -> DeviceCondition {
+        self.cond
+    }
+
+    /// The capture-rate multiplier (duty, field, and temperature).
+    #[must_use]
+    pub fn capture_multiplier(&self) -> f64 {
+        self.capture_mult
+    }
+
+    /// The emission-rate multiplier (thermal speedup and field).
+    #[must_use]
+    pub fn emission_multiplier(&self) -> f64 {
+        self.emission_mult
+    }
+
+    /// The equilibrium occupancy and relaxation time constant for a trap
+    /// with the given time constants under these rates.
+    ///
+    /// This is the arithmetic core shared by the scalar path
+    /// ([`super::kinetics::occupancy_relaxation`] delegates here) and
+    /// the bank kernel, so there is exactly one place the rate math
+    /// lives.
+    #[must_use]
+    pub fn relaxation(&self, tau_c0: f64, tau_e0: f64) -> (f64, f64) {
+        let capture_rate = self.capture_mult / tau_c0;
+        let emission_rate = self.emission_mult / tau_e0;
+        let total_rate = capture_rate + emission_rate;
+        if total_rate <= 0.0 {
+            // Fully frozen: nothing drives the trap in either direction.
+            return (0.0, f64::INFINITY);
+        }
+        (capture_rate / total_rate, 1.0 / total_rate)
+    }
+}
+
+/// A tiny memo table of [`PhaseRates`] keyed by condition.
+///
+/// A chip-advance fans one environment out into at most a handful of
+/// distinct conditions (stressed, recovering, and a toggling duty or
+/// two), so a linear scan over a small vector beats any hashing —
+/// especially since [`DeviceCondition`] carries floats and has no `Eq`.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseRateCache {
+    entries: Vec<PhaseRates>,
+}
+
+impl PhaseRateCache {
+    /// An empty cache; rates populate on first use.
+    #[must_use]
+    pub fn new() -> PhaseRateCache {
+        PhaseRateCache {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The rates for `cond`, evaluating them on first sight.
+    pub fn rates(&mut self, cond: DeviceCondition) -> PhaseRates {
+        if let Some(hit) = self.entries.iter().find(|r| r.cond == cond) {
+            return *hit;
+        }
+        let rates = PhaseRates::for_condition(cond);
+        self.entries.push(rates);
+        rates
+    }
+
+    /// How many distinct conditions this cache has evaluated.
+    #[must_use]
+    pub fn distinct_conditions(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Occupancy mass before and after an [`TrapBank::advance_all`] step.
+///
+/// Both sums accumulate in trap index order during the advance itself,
+/// which is what lets ensemble telemetry report capture/emission deltas
+/// without the two extra full-ensemble scans the old path paid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdvanceStats {
+    /// Sum of occupancies entering the step.
+    pub occupied_before: f64,
+    /// Sum of occupancies leaving the step.
+    pub occupied_after: f64,
+}
+
+/// The fused single-pass reduction over a bank's state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankSummary {
+    /// Total threshold-voltage shift: Σ occupancy · step.
+    pub delta_vth: Millivolts,
+    /// The permanent-trap share of [`Self::delta_vth`].
+    pub permanent_delta_vth: Millivolts,
+    /// Expected number of occupied traps: Σ occupancy.
+    pub expected_occupied: f64,
+}
+
+/// An ensemble's traps in structure-of-arrays layout.
+///
+/// Parallel flat arrays keep the advance kernel's loads contiguous and
+/// auto-vectorizable; [`Trap`] values are materialized on demand for
+/// iteration and serialization. See the module docs for the layout
+/// decisions the bit-exactness contract forces.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrapBank {
+    /// Capture time constants at reference stress (s).
+    tau_c0: Vec<f64>,
+    /// *Effective* emission time constants (s): the sampled value for
+    /// recoverable traps, `f64::INFINITY` for permanent ones.
+    tau_e: Vec<f64>,
+    /// The sampled emission time constants (s), kept for round-tripping
+    /// [`Trap`] values out of the bank.
+    tau_e0: Vec<f64>,
+    /// Per-trap ΔVth contribution when occupied (mV).
+    step_mv: Vec<f64>,
+    /// Whether each trap's capture is permanent (never emits).
+    permanent: Vec<bool>,
+    /// Current capture probability of each trap, in `[0, 1]`.
+    occupancy: Vec<f64>,
+}
+
+impl TrapBank {
+    /// An empty bank.
+    #[must_use]
+    pub fn new() -> TrapBank {
+        TrapBank::default()
+    }
+
+    /// Builds a bank from materialized traps, preserving order.
+    #[must_use]
+    pub fn from_traps(traps: &[Trap]) -> TrapBank {
+        let mut bank = TrapBank::with_capacity(traps.len());
+        for trap in traps {
+            bank.push(*trap);
+        }
+        bank
+    }
+
+    /// An empty bank with room for `capacity` traps.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> TrapBank {
+        TrapBank {
+            tau_c0: Vec::with_capacity(capacity),
+            tau_e: Vec::with_capacity(capacity),
+            tau_e0: Vec::with_capacity(capacity),
+            step_mv: Vec::with_capacity(capacity),
+            permanent: Vec::with_capacity(capacity),
+            occupancy: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one trap to the bank.
+    pub fn push(&mut self, trap: Trap) {
+        self.tau_c0.push(trap.tau_c0().get());
+        // `tau_e0()` already applies the permanent-trap freeze (INFINITY),
+        // which is what makes the advance kernel branch-free on that axis.
+        self.tau_e.push(trap.tau_e0().get());
+        self.tau_e0.push(trap.tau_e0_raw().get());
+        self.step_mv.push(trap.delta_vth_step().get());
+        self.permanent.push(trap.is_permanent());
+        self.occupancy.push(trap.occupancy());
+    }
+
+    /// Number of traps in the bank.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Whether the bank holds no traps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.occupancy.is_empty()
+    }
+
+    /// Materializes trap `index`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Trap> {
+        if index >= self.len() {
+            return None;
+        }
+        Some(Trap::restore(
+            Seconds::new(self.tau_c0[index]),
+            Seconds::new(self.tau_e0[index]),
+            Millivolts::new(self.step_mv[index]),
+            self.permanent[index],
+            self.occupancy[index],
+        ))
+    }
+
+    /// Iterates the bank as materialized [`Trap`] values, in order.
+    #[must_use]
+    pub fn iter(&self) -> TrapIter<'_> {
+        TrapIter {
+            bank: self,
+            index: 0,
+        }
+    }
+
+    /// Advances every trap by `dt` under pre-evaluated rates.
+    ///
+    /// This is the hot kernel: one division pair, one `exp`, and a
+    /// clamp per trap — the transcendentals in the rate multipliers are
+    /// already paid for in `rates`. The occupancy sums entering and
+    /// leaving the step accumulate in the same loop, so callers get the
+    /// telemetry deltas for free instead of re-scanning the ensemble.
+    pub fn advance_all(&mut self, rates: &PhaseRates, dt: Seconds) -> AdvanceStats {
+        let step_enabled = !dt.is_zero_or_negative();
+        let neg_dt = -dt.get();
+        // Accumulators start at -0.0 to match `Iterator::sum::<f64>()`,
+        // which the scalar path these replaced folded from; the two
+        // starts differ only in the sign bit of an empty bank's sum.
+        let mut occupied_before = -0.0;
+        let mut occupied_after = -0.0;
+        for i in 0..self.occupancy.len() {
+            let p = self.occupancy[i];
+            occupied_before += p;
+            if step_enabled {
+                let (p_inf, tau) = rates.relaxation(self.tau_c0[i], self.tau_e[i]);
+                if !tau.is_infinite() {
+                    let decay = (neg_dt / tau).exp();
+                    let next = (p_inf + (p - p_inf) * decay).clamp(0.0, 1.0);
+                    self.occupancy[i] = next;
+                    occupied_after += next;
+                    continue;
+                }
+            }
+            occupied_after += p;
+        }
+        AdvanceStats {
+            occupied_before,
+            occupied_after,
+        }
+    }
+
+    /// All three ensemble reductions in one ordered pass.
+    ///
+    /// Replaces the three separate iterator scans (`delta_vth`,
+    /// `permanent_delta_vth`, `expected_occupied`) the AoS layout
+    /// required; each sum accumulates in trap index order, so the
+    /// results are bit-identical to the old sequential passes.
+    #[must_use]
+    pub fn summary(&self) -> BankSummary {
+        // -0.0 starts for `Iterator::sum` parity — see `advance_all`.
+        let mut delta_vth_mv = -0.0;
+        let mut permanent_delta_vth_mv = -0.0;
+        let mut expected_occupied = -0.0;
+        for i in 0..self.occupancy.len() {
+            let contribution = self.occupancy[i] * self.step_mv[i];
+            delta_vth_mv += contribution;
+            if self.permanent[i] {
+                permanent_delta_vth_mv += contribution;
+            }
+            expected_occupied += self.occupancy[i];
+        }
+        BankSummary {
+            delta_vth: Millivolts::new(delta_vth_mv),
+            permanent_delta_vth: Millivolts::new(permanent_delta_vth_mv),
+            expected_occupied,
+        }
+    }
+
+    /// Empties every trap (fresh-device state).
+    pub fn reset(&mut self) {
+        for p in &mut self.occupancy {
+            *p = 0.0;
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TrapBank {
+    type Item = Trap;
+    type IntoIter = TrapIter<'a>;
+
+    fn into_iter(self) -> TrapIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`TrapBank`], materializing [`Trap`] values.
+#[derive(Debug, Clone)]
+pub struct TrapIter<'a> {
+    bank: &'a TrapBank,
+    index: usize,
+}
+
+impl Iterator for TrapIter<'_> {
+    type Item = Trap;
+
+    fn next(&mut self) -> Option<Trap> {
+        let trap = self.bank.get(self.index)?;
+        self.index += 1;
+        Some(trap)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.bank.len().saturating_sub(self.index);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for TrapIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Environment;
+    use selfheal_units::{Celsius, Millivolts, Volts};
+
+    fn stress() -> DeviceCondition {
+        DeviceCondition::dc_stress(Environment::new(Volts::new(1.2), Celsius::new(110.0)))
+    }
+
+    fn recovery() -> DeviceCondition {
+        DeviceCondition::recovery(Environment::new(Volts::new(-0.3), Celsius::new(110.0)))
+    }
+
+    fn sample_traps() -> Vec<Trap> {
+        vec![
+            Trap::new(Seconds::new(10.0), Seconds::new(1e4), Millivolts::new(0.2), false),
+            Trap::new(Seconds::new(1e3), Seconds::new(50.0), Millivolts::new(0.1), true),
+            Trap::new(Seconds::new(0.5), Seconds::new(f64::INFINITY), Millivolts::new(0.3), false),
+        ]
+    }
+
+    #[test]
+    fn phase_rates_match_kinetics_functions() {
+        let cond = stress();
+        let rates = PhaseRates::for_condition(cond);
+        assert_eq!(rates.capture_multiplier(), capture_rate_multiplier(cond));
+        assert_eq!(rates.emission_multiplier(), emission_rate_multiplier(cond));
+    }
+
+    #[test]
+    fn rate_cache_evaluates_each_condition_once() {
+        let mut cache = PhaseRateCache::new();
+        let a = cache.rates(stress());
+        let b = cache.rates(recovery());
+        let a2 = cache.rates(stress());
+        assert_eq!(cache.distinct_conditions(), 2);
+        assert_eq!(a, a2);
+        assert_ne!(a.capture_multiplier(), b.capture_multiplier());
+    }
+
+    #[test]
+    fn bank_round_trips_traps() {
+        let traps = sample_traps();
+        let bank = TrapBank::from_traps(&traps);
+        assert_eq!(bank.len(), traps.len());
+        let back: Vec<Trap> = bank.iter().collect();
+        assert_eq!(back, traps);
+    }
+
+    #[test]
+    fn advance_all_matches_scalar_trap_advance() {
+        let mut traps = sample_traps();
+        let mut bank = TrapBank::from_traps(&traps);
+        let dt = Seconds::new(3600.0);
+        for cond in [stress(), recovery()] {
+            let rates = PhaseRates::for_condition(cond);
+            for trap in &mut traps {
+                trap.advance(cond, dt);
+            }
+            bank.advance_all(&rates, dt);
+            for (i, trap) in traps.iter().enumerate() {
+                let got = bank.get(i).expect("in range").occupancy();
+                assert_eq!(got.to_bits(), trap.occupancy().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn advance_stats_are_ordered_occupancy_sums() {
+        let mut bank = TrapBank::from_traps(&sample_traps());
+        let rates = PhaseRates::for_condition(stress());
+        let before: f64 = bank.iter().map(|t| t.occupancy()).sum();
+        let stats = bank.advance_all(&rates, Seconds::new(60.0));
+        let after: f64 = bank.iter().map(|t| t.occupancy()).sum();
+        assert_eq!(stats.occupied_before.to_bits(), before.to_bits());
+        assert_eq!(stats.occupied_after.to_bits(), after.to_bits());
+    }
+
+    #[test]
+    fn zero_dt_is_a_frozen_step() {
+        let mut bank = TrapBank::from_traps(&sample_traps());
+        let rates = PhaseRates::for_condition(stress());
+        bank.advance_all(&rates, Seconds::new(3600.0));
+        let snapshot = bank.clone();
+        let stats = bank.advance_all(&rates, Seconds::new(0.0));
+        assert_eq!(bank, snapshot);
+        assert_eq!(stats.occupied_before, stats.occupied_after);
+    }
+
+    #[test]
+    fn summary_matches_separate_passes() {
+        let mut bank = TrapBank::from_traps(&sample_traps());
+        bank.advance_all(&PhaseRates::for_condition(stress()), Seconds::new(3600.0));
+        let summary = bank.summary();
+        let delta: f64 = bank.iter().map(|t| t.contribution().get()).sum();
+        let permanent: f64 = bank
+            .iter()
+            .filter(Trap::is_permanent)
+            .map(|t| t.contribution().get())
+            .sum();
+        let occupied: f64 = bank.iter().map(|t| t.occupancy()).sum();
+        assert_eq!(summary.delta_vth.get().to_bits(), delta.to_bits());
+        assert_eq!(summary.permanent_delta_vth.get().to_bits(), permanent.to_bits());
+        assert_eq!(summary.expected_occupied.to_bits(), occupied.to_bits());
+    }
+
+    #[test]
+    fn reset_empties_every_trap() {
+        let mut bank = TrapBank::from_traps(&sample_traps());
+        bank.advance_all(&PhaseRates::for_condition(stress()), Seconds::new(3600.0));
+        bank.reset();
+        assert_eq!(bank.summary().expected_occupied, 0.0);
+    }
+}

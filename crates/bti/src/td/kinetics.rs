@@ -109,14 +109,10 @@ pub fn occupancy_relaxation(
     tau_e0: f64,
     cond: DeviceCondition,
 ) -> (f64, f64) {
-    let rc = capture_rate_multiplier(cond) / tau_c0;
-    let re = emission_rate_multiplier(cond) / tau_e0;
-    let total = rc + re;
-    if total <= 0.0 {
-        (0.0, f64::INFINITY)
-    } else {
-        (rc / total, 1.0 / total)
-    }
+    // Single arithmetic source: the kernel's hoisted rates perform the
+    // identical `multiplier / tau` division, so scalar and bank paths
+    // cannot drift apart.
+    super::kernel::PhaseRates::for_condition(cond).relaxation(tau_c0, tau_e0)
 }
 
 /// Convenience: the Arrhenius emission speed-up between two temperatures,

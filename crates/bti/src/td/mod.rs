@@ -13,11 +13,15 @@
 //! measurements.
 
 mod ensemble;
+pub mod kernel;
 mod kinetics;
 mod population;
 mod trap;
 
 pub use ensemble::{TrapEnsemble, TrapEnsembleParams};
+pub use kernel::{
+    AdvanceStats, BankSummary, PhaseRateCache, PhaseRates, TrapBank, TrapIter, KERNEL_VERSION,
+};
 pub use population::{advance_population, sample_population, sample_population_cached};
 pub use kinetics::{
     capture_rate_multiplier, emission_rate_multiplier, emission_thermal_speedup,

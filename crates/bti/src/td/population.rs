@@ -14,6 +14,7 @@ use selfheal_units::{Millivolts, Seconds};
 use crate::condition::DeviceCondition;
 
 use super::ensemble::{TrapEnsemble, TrapEnsembleParams};
+use super::kernel::PhaseRates;
 use super::trap::Trap;
 
 /// Samples `count` independent devices on the global pool.
@@ -53,8 +54,13 @@ pub fn advance_population(
     dt: Seconds,
 ) -> Vec<TrapEnsemble> {
     let _span = telemetry::span!("bti.population_advance", devices = devices.len());
+    // Hoist the condition's rate multipliers out of the fan-out: every
+    // device shares the same condition, so the transcendentals are paid
+    // once here rather than once per device (or, before the kernel
+    // rewrite, once per trap).
+    let rates = PhaseRates::for_condition(cond);
     runtime::par_map(devices, move |mut device| {
-        device.advance(cond, dt);
+        device.advance_with_rates(&rates, dt);
         device
     })
 }

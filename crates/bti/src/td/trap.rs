@@ -6,7 +6,7 @@ use selfheal_units::{Millivolts, Seconds};
 
 use crate::condition::DeviceCondition;
 
-use super::kinetics::occupancy_relaxation;
+use super::kernel::PhaseRates;
 
 /// One oxide trap.
 ///
@@ -26,7 +26,7 @@ use super::kinetics::occupancy_relaxation;
 /// `permanent` traps never emit once captured — they model the
 /// irreversible component of aging the paper notes "accumulates at a
 /// different rate" and can never be healed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Trap {
     tau_c0: f64,
     tau_e0: f64,
@@ -140,8 +140,20 @@ impl Trap {
         if dt.is_zero_or_negative() {
             return;
         }
+        self.advance_with_rates(&PhaseRates::for_condition(cond), dt);
+    }
+
+    /// [`Trap::advance`] with the condition's rate multipliers already
+    /// evaluated — the hoisted entry point phase loops use so the two
+    /// transcendental-heavy multipliers are paid once per phase, not once
+    /// per trap. Bit-identical to [`Trap::advance`] under
+    /// `PhaseRates::for_condition(cond)`.
+    pub fn advance_with_rates(&mut self, rates: &PhaseRates, dt: Seconds) {
+        if dt.is_zero_or_negative() {
+            return;
+        }
         let tau_e = if self.permanent { f64::INFINITY } else { self.tau_e0 };
-        let (p_inf, tau) = occupancy_relaxation(self.tau_c0, tau_e, cond);
+        let (p_inf, tau) = rates.relaxation(self.tau_c0, tau_e);
         if tau.is_infinite() {
             return; // frozen: nothing can change
         }

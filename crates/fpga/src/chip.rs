@@ -4,6 +4,7 @@
 use rand::Rng;
 use selfheal_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+use selfheal_bti::td::PhaseRateCache;
 use selfheal_bti::Environment;
 use selfheal_units::{Hertz, Millivolts, Nanoseconds, Seconds};
 
@@ -162,8 +163,12 @@ impl Chip {
     }
 
     /// Ages the chip for `dt` in the given RO mode and environment.
+    ///
+    /// The phase's rate multipliers are evaluated once here and shared
+    /// across every device on the chip (see `selfheal_bti::td::kernel`).
     pub fn advance(&mut self, mode: RoMode, env: Environment, dt: Seconds) {
-        self.ro.advance(mode, env, dt);
+        let mut rates = PhaseRateCache::new();
+        self.ro.advance_cached(mode, env, dt, &mut rates);
     }
 }
 

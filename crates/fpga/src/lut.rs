@@ -26,6 +26,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use selfheal_bti::td::PhaseRateCache;
 use selfheal_bti::{DeviceCondition, Environment};
 use selfheal_units::{DutyCycle, Millivolts, Nanoseconds, Seconds, Volts};
 
@@ -242,6 +243,20 @@ impl Lut {
         env: Environment,
         dt: Seconds,
     ) {
+        self.advance_static_cached(in0, in1, env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_static`](Self::advance_static) sharing a caller-owned
+    /// rate cache, so a whole-chip advance evaluates each condition's
+    /// rate multipliers once rather than once per LUT.
+    pub fn advance_static_cached(
+        &mut self,
+        in0: bool,
+        in1: bool,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
         let stressed = self.stressed_indices(in0, in1);
         for (idx, device) in self.devices.iter_mut().enumerate() {
             let cond = if stressed.contains(&idx) {
@@ -249,7 +264,7 @@ impl Lut {
             } else {
                 DeviceCondition::recovery(env)
             };
-            device.advance(cond, dt);
+            device.advance_with_rates(&rates.rates(cond), dt);
         }
     }
 
@@ -257,20 +272,44 @@ impl Lut {
     /// duty is the fraction of the two `In0` states in which it is
     /// statically stressed.
     pub fn advance_toggling(&mut self, in1: bool, env: Environment, dt: Seconds) {
+        self.advance_toggling_cached(in1, env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_toggling`](Self::advance_toggling) sharing a
+    /// caller-owned rate cache across LUTs.
+    pub fn advance_toggling_cached(
+        &mut self,
+        in1: bool,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
         let low = self.stressed_indices(false, in1);
         let high = self.stressed_indices(true, in1);
         for (idx, device) in self.devices.iter_mut().enumerate() {
             let count = u8::from(low.contains(&idx)) + u8::from(high.contains(&idx));
             let duty = DutyCycle::new(f64::from(count) / 2.0);
-            device.advance(DeviceCondition::new(env, duty), dt);
+            device.advance_with_rates(&rates.rates(DeviceCondition::new(env, duty)), dt);
         }
     }
 
     /// Ages the LUT during sleep: no device is stressed; all recover under
     /// the (possibly negative-voltage, possibly heated) sleep environment.
     pub fn advance_sleep(&mut self, env: Environment, dt: Seconds) {
+        self.advance_sleep_cached(env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_sleep`](Self::advance_sleep) sharing a caller-owned
+    /// rate cache across LUTs.
+    pub fn advance_sleep_cached(
+        &mut self,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
+        let recovery = rates.rates(DeviceCondition::recovery(env));
         for device in &mut self.devices {
-            device.advance(DeviceCondition::recovery(env), dt);
+            device.advance_with_rates(&recovery, dt);
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use selfheal_bti::td::PhaseRateCache;
 use selfheal_bti::Environment;
 use selfheal_units::{Millivolts, Nanoseconds, Seconds, Volts};
 
@@ -131,28 +132,62 @@ impl InverterChain {
 
     /// Ages the chain with the loop parked (DC stress).
     pub fn advance_static(&mut self, env: Environment, dt: Seconds) {
+        self.advance_static_cached(env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_static`](Self::advance_static) sharing a caller-owned
+    /// rate cache — chip- and fabric-level loops pass one cache so the
+    /// whole advance evaluates each condition's multipliers once.
+    pub fn advance_static_cached(
+        &mut self,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
         for (i, stage) in self.stages.iter_mut().enumerate() {
             let in0 = Self::static_input(i);
-            stage.lut.advance_static(in0, true, env, dt);
+            stage.lut.advance_static_cached(in0, true, env, dt, rates);
             // The routing net parks at the LUT's output level.
             let out = stage.lut.evaluate(in0, true);
-            stage.routing.advance_static(out, env, dt);
+            stage.routing.advance_static_cached(out, env, dt, rates);
         }
     }
 
     /// Ages the chain while it oscillates (AC stress).
     pub fn advance_toggling(&mut self, env: Environment, dt: Seconds) {
+        self.advance_toggling_cached(env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_toggling`](Self::advance_toggling) sharing a
+    /// caller-owned rate cache.
+    pub fn advance_toggling_cached(
+        &mut self,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
         for stage in &mut self.stages {
-            stage.lut.advance_toggling(true, env, dt);
-            stage.routing.advance_toggling(env, dt);
+            stage.lut.advance_toggling_cached(true, env, dt, rates);
+            stage.routing.advance_toggling_cached(env, dt, rates);
         }
     }
 
     /// Ages the chain during sleep (no stress anywhere).
     pub fn advance_sleep(&mut self, env: Environment, dt: Seconds) {
+        self.advance_sleep_cached(env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_sleep`](Self::advance_sleep) sharing a caller-owned
+    /// rate cache.
+    pub fn advance_sleep_cached(
+        &mut self,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
         for stage in &mut self.stages {
-            stage.lut.advance_sleep(env, dt);
-            stage.routing.advance_sleep(env, dt);
+            stage.lut.advance_sleep_cached(env, dt, rates);
+            stage.routing.advance_sleep_cached(env, dt, rates);
         }
     }
 }

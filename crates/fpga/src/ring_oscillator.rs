@@ -3,6 +3,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use selfheal_bti::td::PhaseRateCache;
 use selfheal_bti::Environment;
 use selfheal_units::{Hertz, Millivolts, Nanoseconds, Seconds, Volts};
 
@@ -94,15 +95,29 @@ impl RingOscillator {
     /// or parked at CMOS levels, so any mode combined with `supply ≤ 0 V`
     /// behaves as [`RoMode::Sleep`].
     pub fn advance(&mut self, mode: RoMode, env: Environment, dt: Seconds) {
+        self.advance_cached(mode, env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance`](Self::advance) sharing a caller-owned rate cache —
+    /// fabric-wide loops advance every oscillator under one cache so the
+    /// per-condition rate multipliers are evaluated once for the whole
+    /// array.
+    pub fn advance_cached(
+        &mut self,
+        mode: RoMode,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
         let effective = if env.supply().get() <= 0.0 {
             RoMode::Sleep
         } else {
             mode
         };
         match effective {
-            RoMode::Oscillating => self.chain.advance_toggling(env, dt),
-            RoMode::Static => self.chain.advance_static(env, dt),
-            RoMode::Sleep => self.chain.advance_sleep(env, dt),
+            RoMode::Oscillating => self.chain.advance_toggling_cached(env, dt, rates),
+            RoMode::Static => self.chain.advance_static_cached(env, dt, rates),
+            RoMode::Sleep => self.chain.advance_sleep_cached(env, dt, rates),
         }
     }
 }

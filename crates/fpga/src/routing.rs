@@ -9,6 +9,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use selfheal_bti::td::PhaseRateCache;
 use selfheal_bti::{DeviceCondition, Environment};
 use selfheal_units::{Millivolts, Nanoseconds, Seconds, Volts};
 
@@ -68,6 +69,18 @@ impl RoutingBlock {
 
     /// Ages the block with its input parked at `value` (DC stress).
     pub fn advance_static(&mut self, value: bool, env: Environment, dt: Seconds) {
+        self.advance_static_cached(value, env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_static`](Self::advance_static) sharing a caller-owned
+    /// rate cache across routing blocks.
+    pub fn advance_static_cached(
+        &mut self,
+        value: bool,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
         let stressed = self.stressed_index(value);
         for (idx, device) in self.devices.iter_mut().enumerate() {
             let cond = if idx == stressed {
@@ -75,22 +88,46 @@ impl RoutingBlock {
             } else {
                 DeviceCondition::recovery(env)
             };
-            device.advance(cond, dt);
+            device.advance_with_rates(&rates.rates(cond), dt);
         }
     }
 
     /// Ages the block while its input toggles (AC stress): both devices at
     /// 50 % duty.
     pub fn advance_toggling(&mut self, env: Environment, dt: Seconds) {
+        self.advance_toggling_cached(env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_toggling`](Self::advance_toggling) sharing a
+    /// caller-owned rate cache across routing blocks.
+    pub fn advance_toggling_cached(
+        &mut self,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
+        let ac = rates.rates(DeviceCondition::ac_stress(env));
         for device in &mut self.devices {
-            device.advance(DeviceCondition::ac_stress(env), dt);
+            device.advance_with_rates(&ac, dt);
         }
     }
 
     /// Ages the block during sleep: both devices recover.
     pub fn advance_sleep(&mut self, env: Environment, dt: Seconds) {
+        self.advance_sleep_cached(env, dt, &mut PhaseRateCache::new());
+    }
+
+    /// [`advance_sleep`](Self::advance_sleep) sharing a caller-owned
+    /// rate cache across routing blocks.
+    pub fn advance_sleep_cached(
+        &mut self,
+        env: Environment,
+        dt: Seconds,
+        rates: &mut PhaseRateCache,
+    ) {
+        let recovery = rates.rates(DeviceCondition::recovery(env));
         for device in &mut self.devices {
-            device.advance(DeviceCondition::recovery(env), dt);
+            device.advance_with_rates(&recovery, dt);
         }
     }
 }

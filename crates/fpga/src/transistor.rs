@@ -3,7 +3,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use selfheal_bti::td::{TrapEnsemble, TrapEnsembleParams};
+use selfheal_bti::td::{PhaseRates, TrapEnsemble, TrapEnsembleParams};
 use selfheal_bti::DeviceCondition;
 use selfheal_units::{Millivolts, Nanoseconds, Seconds, Volts};
 
@@ -133,6 +133,13 @@ impl Transistor {
     /// Ages the device by `dt` under `cond`.
     pub fn advance(&mut self, cond: DeviceCondition, dt: Seconds) {
         self.aging.advance(cond, dt);
+    }
+
+    /// [`advance`](Self::advance) with the condition's rate multipliers
+    /// already evaluated — chip-level advance loops hoist the
+    /// transcendental work once per condition and fan it out here.
+    pub fn advance_with_rates(&mut self, rates: &PhaseRates, dt: Seconds) {
+        self.aging.advance_with_rates(rates, dt);
     }
 
     /// Immutable view of the trap population (for diagnostics).

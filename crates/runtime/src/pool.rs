@@ -391,10 +391,18 @@ impl Pool {
         for (queue, job) in queued {
             self.shared.queue(queue).push_back(job);
         }
-        if telemetry::metrics::enabled() {
+        let metrics_on = telemetry::metrics::enabled();
+        // Region-local utilisation: snapshot the lifetime steal/executed
+        // totals around this batch so the per-region deltas (and the
+        // steal ratio derived from them) survive into the run manifest.
+        let steals_at_submit = self.shared.steals.load(Ordering::Relaxed);
+        let executed_at_submit = self.shared.executed.load(Ordering::Relaxed);
+        if metrics_on {
             telemetry::metrics::counter_add("runtime.pool.batches", 1.0);
             telemetry::metrics::counter_add("runtime.pool.jobs", jobs as f64);
-            telemetry::metrics::gauge_set("runtime.pool.queue_depth", self.shared.depth() as f64);
+            let depth = self.shared.depth() as f64;
+            telemetry::metrics::gauge_set("runtime.pool.queue_depth", depth);
+            telemetry::metrics::gauge_max("runtime.pool.max_queue_depth", depth);
         }
         self.shared.wake_all();
 
@@ -422,15 +430,24 @@ impl Pool {
                 .unwrap_or_else(PoisonError::into_inner);
         }
 
-        if telemetry::metrics::enabled() {
-            telemetry::metrics::gauge_set(
-                "runtime.pool.steals_total",
-                self.shared.steals.load(Ordering::Relaxed) as f64,
-            );
-            telemetry::metrics::gauge_set(
-                "runtime.pool.jobs_executed_total",
-                self.shared.executed.load(Ordering::Relaxed) as f64,
-            );
+        if metrics_on {
+            let steals = self.shared.steals.load(Ordering::Relaxed);
+            let executed = self.shared.executed.load(Ordering::Relaxed);
+            telemetry::metrics::gauge_set("runtime.pool.steals_total", steals as f64);
+            telemetry::metrics::gauge_set("runtime.pool.jobs_executed_total", executed as f64);
+            // This region's share of the pool's work. `executed` deltas
+            // can include jobs from concurrently draining batches, so the
+            // ratio is best-effort — but batches overwhelmingly run one
+            // at a time, where it is exact.
+            let region_steals = steals.saturating_sub(steals_at_submit);
+            let region_executed = executed.saturating_sub(executed_at_submit);
+            if region_executed > 0 {
+                telemetry::metrics::histogram_observe(
+                    "runtime.pool.steal_ratio",
+                    &[0.05, 0.1, 0.25, 0.5, 0.75, 1.0],
+                    region_steals as f64 / region_executed as f64,
+                );
+            }
         }
 
         let panics = {

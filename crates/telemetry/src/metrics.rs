@@ -237,6 +237,24 @@ pub fn gauge_set(name: &str, value: f64) {
     }
 }
 
+/// Raises the named gauge to `value` if it is below it (creating it at
+/// `value`) — a high-water mark. Useful for quantities observed many
+/// times per run where only the peak matters (queue depths, fan-out
+/// widths).
+pub fn gauge_max(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry();
+    match map
+        .entry(name.to_string())
+        .or_insert(Metric::Gauge(value))
+    {
+        Metric::Gauge(current) => *current = current.max(value),
+        _ => debug_assert!(false, "metric {name} is not a gauge"),
+    }
+}
+
 /// Records an observation into the named histogram, registering it with
 /// `bounds` on first use.
 pub fn histogram_observe(name: &str, bounds: &[f64], value: f64) {
@@ -334,6 +352,16 @@ mod tests {
             gauge_set("test.m.gauge_a", 1.0);
             gauge_set("test.m.gauge_a", -3.5);
             assert_eq!(snapshot().get("test.m.gauge_a"), Some(&Metric::Gauge(-3.5)));
+        });
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        with_metrics(|| {
+            gauge_max("test.m.gauge_hwm", 2.0);
+            gauge_max("test.m.gauge_hwm", 7.5);
+            gauge_max("test.m.gauge_hwm", 3.0);
+            assert_eq!(snapshot().get("test.m.gauge_hwm"), Some(&Metric::Gauge(7.5)));
         });
     }
 

@@ -116,9 +116,11 @@ impl Sink for StderrSink {
 
     /// On flush (end of run), summarize every registered histogram with
     /// count/mean and p50/p90/p99 — the interactive counterpart of the
-    /// quantiles the manifest snapshot stores.
+    /// quantiles the manifest snapshot stores — plus a one-line pool
+    /// utilisation digest when the run used the execution pool.
     fn flush(&self) {
-        for (name, metric) in crate::metrics::snapshot().metrics {
+        let snapshot = crate::metrics::snapshot();
+        for (name, metric) in &snapshot.metrics {
             let crate::metrics::Metric::Histogram(h) = metric else {
                 continue;
             };
@@ -132,6 +134,31 @@ impl Sink for StderrSink {
                 "[telemetry] histogram {name}: n={} mean={mean:.4} p50={p50:.4} p90={p90:.4} p99={p99:.4}",
                 h.count(),
             );
+        }
+        let scalar = |name: &str| match snapshot.get(name) {
+            Some(crate::metrics::Metric::Counter(v) | crate::metrics::Metric::Gauge(v)) => {
+                Some(*v)
+            }
+            _ => None,
+        };
+        if let (Some(batches), Some(jobs)) = (
+            scalar("runtime.pool.batches"),
+            scalar("runtime.pool.jobs"),
+        ) {
+            let mut line = format!(
+                "[telemetry] pool: {batches:.0} parallel region(s), {jobs:.0} job(s)"
+            );
+            if let Some(depth) = scalar("runtime.pool.max_queue_depth") {
+                line.push_str(&format!(", max queue depth {depth:.0}"));
+            }
+            if let Some(crate::metrics::Metric::Histogram(h)) =
+                snapshot.get("runtime.pool.steal_ratio")
+            {
+                if let Some(mean) = h.mean() {
+                    line.push_str(&format!(", mean steal ratio {mean:.3}"));
+                }
+            }
+            eprintln!("{line}");
         }
     }
 }

@@ -45,7 +45,7 @@ pub use frequency::{Hertz, Megahertz};
 pub use ratio::{DutyCycle, Fraction, Percent, Ratio};
 pub use temperature::{Celsius, Kelvin};
 pub use time::{Hours, Minutes, Nanoseconds, Seconds};
-pub use voltage::{Millivolts, Volts};
+pub use voltage::{Millivolts, PerVolt, Volts};
 
 /// Boltzmann constant in electron-volts per kelvin.
 ///

@@ -155,6 +155,77 @@ impl From<Millivolts> for Volts {
     }
 }
 
+/// An inverse voltage in 1/V — the unit of exponential voltage
+/// acceleration factors (`exp(gain · ΔV)` is dimensionless only when the
+/// gain carries 1/V).
+///
+/// # Examples
+///
+/// ```
+/// use selfheal_units::{PerVolt, Volts};
+///
+/// let gain = PerVolt::new(2.5);
+/// // PerVolt × Volts cancels to a dimensionless exponent.
+/// let exponent: f64 = gain * Volts::new(0.1);
+/// assert!((exponent - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PerVolt(f64);
+
+impl PerVolt {
+    /// Zero gain — no voltage acceleration.
+    pub const ZERO: PerVolt = PerVolt(0.0);
+
+    /// Creates an inverse voltage from a value in 1/V.
+    #[must_use]
+    pub const fn new(per_volt: f64) -> Self {
+        PerVolt(per_volt)
+    }
+
+    /// Returns the raw value in 1/V.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PerVolt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} /V", self.0)
+    }
+}
+
+impl Mul<Volts> for PerVolt {
+    /// 1/V × V cancels to a dimensionless exponent.
+    type Output = f64;
+    fn mul(self, rhs: Volts) -> f64 {
+        self.0 * rhs.get()
+    }
+}
+
+impl Mul<PerVolt> for Volts {
+    /// V × 1/V cancels to a dimensionless exponent.
+    type Output = f64;
+    fn mul(self, rhs: PerVolt) -> f64 {
+        self.get() * rhs.0
+    }
+}
+
+impl Mul<f64> for PerVolt {
+    type Output = PerVolt;
+    fn mul(self, rhs: f64) -> PerVolt {
+        PerVolt(self.0 * rhs)
+    }
+}
+
+impl Mul<PerVolt> for f64 {
+    type Output = PerVolt;
+    fn mul(self, rhs: PerVolt) -> PerVolt {
+        PerVolt(self * rhs.0)
+    }
+}
+
 /// A potential difference in millivolts.
 ///
 /// Threshold-voltage shifts in the BTI literature are conventionally quoted
@@ -365,6 +436,17 @@ mod tests {
     fn abs_strips_sign() {
         assert_eq!(Volts::new(-0.3).abs(), Volts::new(0.3));
         assert_eq!(Volts::new(0.3).abs(), Volts::new(0.3));
+    }
+
+    #[test]
+    fn per_volt_cancels_against_volts() {
+        let gain = PerVolt::new(14.0 / 3.0);
+        assert!((gain * Volts::new(0.3) - 1.4).abs() < 1e-12);
+        assert!((Volts::new(0.3) * gain - 1.4).abs() < 1e-12);
+        assert_eq!(gain * 3.0, PerVolt::new(14.0));
+        assert_eq!(3.0 * gain, PerVolt::new(14.0));
+        assert_eq!(PerVolt::ZERO.get(), 0.0);
+        assert_eq!(PerVolt::new(2.5).to_string(), "2.500 /V");
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! The kernel-equivalence gate for `selfheal_bti::td::kernel`: the SoA
+//! [`TrapBank`] fast path must be *bit-for-bit* identical to the per-trap
+//! [`Trap::advance`] scalar path — same occupancies to the last ulp, same
+//! ordered reductions — under every phase kind, every worker count, and
+//! the full dynamic range of trap time constants (including the
+//! frozen-trap `tau = INFINITY` branch).
+//!
+//! If any assertion here moves, the kernel has drifted from the physics
+//! it was hoisted out of; bump [`selfheal_bti::td::KERNEL_VERSION`] only
+//! for *representation* changes that keep these bits pinned.
+
+use proptest::prelude::*;
+use selfheal_bti::td::{
+    advance_population, sample_population, PhaseRates, Trap, TrapBank, TrapEnsemble,
+    TrapEnsembleParams,
+};
+use selfheal_bti::{DeviceCondition, Environment};
+use selfheal_runtime::{set_global_threads, SeedSequence};
+use selfheal_units::{Celsius, Hours, Millivolts, Seconds, Volts};
+
+/// The paper's phase vocabulary: DC stress, accelerated recovery, AC
+/// stress, passive room-temperature recovery, and a zero-length step
+/// (the frozen-time edge the kernel must treat as a no-op).
+fn phase_sequence() -> Vec<(DeviceCondition, Seconds)> {
+    let hot = Environment::new(Volts::new(1.2), Celsius::new(110.0));
+    let heal = Environment::new(Volts::new(-0.3), Celsius::new(110.0));
+    let room = Environment::new(Volts::new(0.0), Celsius::new(20.0));
+    vec![
+        (DeviceCondition::dc_stress(hot), Hours::new(24.0).into()),
+        (DeviceCondition::recovery(heal), Hours::new(6.0).into()),
+        (DeviceCondition::ac_stress(hot), Hours::new(24.0).into()),
+        (DeviceCondition::recovery(room), Hours::new(6.0).into()),
+        (DeviceCondition::dc_stress(hot), Seconds::new(0.0)),
+    ]
+}
+
+/// Asserts that an ensemble (bank path) and a scalar trap vector carry
+/// identical state and identical ordered reductions, to the bit.
+fn assert_bit_identical(scalar: &[Trap], ensemble: &TrapEnsemble, context: &str) {
+    assert_eq!(scalar.len(), ensemble.trap_count(), "{context}");
+    for (i, (s, b)) in scalar.iter().zip(ensemble.iter()).enumerate() {
+        assert_eq!(
+            s.occupancy().to_bits(),
+            b.occupancy().to_bits(),
+            "{context}: trap {i} occupancy"
+        );
+    }
+    // The fused single-pass reductions must reproduce the scalar
+    // iterator sums exactly — both accumulate in trap index order.
+    let delta: f64 = scalar.iter().map(|t| t.contribution().get()).sum();
+    let permanent: f64 = scalar
+        .iter()
+        .filter(|t| t.is_permanent())
+        .map(|t| t.contribution().get())
+        .sum();
+    let occupied: f64 = scalar.iter().map(Trap::occupancy).sum();
+    assert_eq!(
+        delta.to_bits(),
+        ensemble.delta_vth().get().to_bits(),
+        "{context}: delta_vth"
+    );
+    assert_eq!(
+        permanent.to_bits(),
+        ensemble.permanent_delta_vth().get().to_bits(),
+        "{context}: permanent_delta_vth"
+    );
+    assert_eq!(
+        occupied.to_bits(),
+        ensemble.expected_occupied().to_bits(),
+        "{context}: expected_occupied"
+    );
+}
+
+#[test]
+fn bank_matches_per_trap_advance_across_phase_sequence() {
+    let seeds = SeedSequence::new(2014);
+    let params = TrapEnsembleParams::default();
+    let mut ensemble = TrapEnsemble::sample(&params, &mut seeds.rng(0));
+    let mut scalar: Vec<Trap> = ensemble.iter().collect();
+    assert_bit_identical(&scalar, &ensemble, "fresh");
+    for (step, (cond, dt)) in phase_sequence().into_iter().enumerate() {
+        for trap in &mut scalar {
+            trap.advance(cond, dt);
+        }
+        ensemble.advance(cond, dt);
+        assert_bit_identical(&scalar, &ensemble, &format!("after phase {step}"));
+    }
+}
+
+#[test]
+fn population_fanout_is_worker_count_invariant_bitwise() {
+    let params = TrapEnsembleParams::default();
+    let fresh = sample_population(&params, 12, 99);
+    let sequence = phase_sequence();
+
+    // Reference: every device's traps stepped one at a time through the
+    // pre-kernel scalar entry point, on this thread.
+    let reference: Vec<Vec<Trap>> = fresh
+        .iter()
+        .map(|device| {
+            let mut traps: Vec<Trap> = device.iter().collect();
+            for &(cond, dt) in &sequence {
+                for trap in &mut traps {
+                    trap.advance(cond, dt);
+                }
+            }
+            traps
+        })
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        set_global_threads(workers);
+        let mut devices = fresh.clone();
+        for &(cond, dt) in &sequence {
+            devices = advance_population(devices, cond, dt);
+        }
+        for (d, (device, traps)) in devices.iter().zip(&reference).enumerate() {
+            for (i, (got, want)) in device.iter().zip(traps.iter()).enumerate() {
+                assert_eq!(
+                    got.occupancy().to_bits(),
+                    want.occupancy().to_bits(),
+                    "workers={workers} device={d} trap={i}"
+                );
+            }
+        }
+    }
+}
+
+/// The τ grid deliberately spans denormal-adjacent to `f64::MAX` capture
+/// constants and includes `tau_e0 = INFINITY` (a pre-frozen emitter), so
+/// the sweep exercises overflow-free rate math, the `total_rate <= 0`
+/// frozen branch, and the permanent-trap effective-τ substitution.
+fn tau_grid() -> Vec<(f64, f64, bool)> {
+    let mut grid = Vec::new();
+    for &tau_c0 in &[1e-300, 1e-12, 1.0, 1e12, 1e300, f64::MAX] {
+        for &tau_e0 in &[1e-12, 1.0, 1e12, f64::INFINITY] {
+            for permanent in [false, true] {
+                grid.push((tau_c0, tau_e0, permanent));
+            }
+        }
+    }
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn extreme_tau_sweep_is_bit_exact(
+        occupancy in 0.0f64..=1.0,
+        sampled_hours in 1e-9f64..1e6,
+        zero_dt in 0usize..2,
+        phase in 0usize..4,
+    ) {
+        let dt_hours = if zero_dt == 1 { 0.0 } else { sampled_hours };
+        let (cond, _) = phase_sequence()[phase];
+        let dt: Seconds = Hours::new(dt_hours).into();
+        let rates = PhaseRates::for_condition(cond);
+
+        let traps: Vec<Trap> = tau_grid()
+            .into_iter()
+            .map(|(tau_c0, tau_e0, permanent)| {
+                Trap::restore(
+                    Seconds::new(tau_c0),
+                    Seconds::new(tau_e0),
+                    Millivolts::new(0.35),
+                    permanent,
+                    occupancy,
+                )
+            })
+            .collect();
+
+        let mut scalar = traps.clone();
+        for trap in &mut scalar {
+            trap.advance(cond, dt);
+        }
+
+        let mut bank = TrapBank::from_traps(&traps);
+        bank.advance_all(&rates, dt);
+
+        for (i, (want, got)) in scalar.iter().zip(bank.iter()).enumerate() {
+            prop_assert_eq!(
+                want.occupancy().to_bits(),
+                got.occupancy().to_bits(),
+                "phase={} dt={} trap={} (tau_c0={}, tau_e0={}, permanent={})",
+                phase,
+                dt_hours,
+                i,
+                want.tau_c0().get(),
+                want.tau_e0_raw().get(),
+                want.is_permanent()
+            );
+            // Occupancy stays a probability even at the extremes.
+            prop_assert!((0.0..=1.0).contains(&got.occupancy()));
+        }
+    }
+}
