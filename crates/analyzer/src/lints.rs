@@ -66,10 +66,11 @@ const UNWRAP_GATED_CRATES: [&str; 4] = [
 const THREAD_SPAWN_EXEMPT_CRATES: [&str; 2] = ["selfheal-runtime", "selfheal-telemetry"];
 
 /// The selfheal-units newtypes (plus `Self` constructors excluded).
-const UNIT_TYPES: [&str; 16] = [
+const UNIT_TYPES: [&str; 17] = [
     "Volts",
     "Millivolts",
     "PerVolt",
+    "PerSecond",
     "ElectronVolts",
     "Celsius",
     "Kelvin",

@@ -94,6 +94,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let mut fresh: Option<f64> = None;
     let mut samples = 0usize;
     for spec in &phases {
+        // A named root span per session phase: the manifest's phase
+        // ledger shows the case names, with the harness's generic
+        // `testbench.phase` span nested underneath.
+        let _phase = bench.phase_named(&spec.name);
         let records = harness
             .run_phase(spec, &mut rng)
             .map_err(|e| format!("phase '{}': {e}", spec.name))?;

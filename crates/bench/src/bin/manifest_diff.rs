@@ -11,11 +11,13 @@
 //! quantiles) compare within a combined absolute/relative tolerance:
 //! `|a - b| <= tol * max(1, |a|, |b|)`. Strings and booleans compare
 //! exactly. Volatile fields are skipped by default: `created_unix_s`,
-//! `git_describe`, and every phase's `wall_s` (phase *names and order*
+//! `git_describe`, every phase's `wall_s`/`self_s`, the `self_time`
+//! profile, and the pool's steal statistics (phase *names and order*
 //! still compare — a run that gained or lost a phase is a real change).
 //! `--ignore <prefix>` skips additional dotted paths, e.g.
-//! `--ignore metrics.runtime.pool` when worker scheduling makes steal
-//! counts run-to-run noisy.
+//! `--ignore metrics.runtime.pool` to drop the remaining
+//! worker-count-dependent pool gauges when comparing across `--threads`
+//! settings.
 //!
 //! Exit status: `0` when the manifests agree, `1` on any difference,
 //! `2` on usage or I/O errors.
@@ -90,7 +92,16 @@ fn ignored(path: &str, extra: &[String]) -> bool {
         return true;
     }
     // Phase wall-clock is timing noise; names and order still compare.
-    if path.starts_with("phases.") && path.ends_with(".wall_s") {
+    if path.starts_with("phases.") && (path.ends_with(".wall_s") || path.ends_with(".self_s")) {
+        return true;
+    }
+    // The self-time profile is wall-clock through and through.
+    if path == "self_time" || path.starts_with("self_time.") {
+        return true;
+    }
+    // Steal counts are scheduling noise: how often a worker steals
+    // depends on OS timing, not on what was computed.
+    if path.starts_with("metrics.runtime.pool.steal") {
         return true;
     }
     extra
@@ -238,10 +249,15 @@ mod tests {
         assert!(ignored("created_unix_s", &[]));
         assert!(ignored("git_describe", &[]));
         assert!(ignored("phases.3.wall_s", &[]));
+        assert!(ignored("phases.3.self_s", &[]));
+        assert!(ignored("self_time.0.self_ns", &[]));
+        assert!(ignored("metrics.runtime.pool.steals_total", &[]));
+        assert!(ignored("metrics.runtime.pool.steal_ratio.p50", &[]));
+        assert!(!ignored("metrics.runtime.pool.jobs", &[]));
         assert!(!ignored("phases.3.name", &[]));
         assert!(!ignored("values.sites", &[]));
         let extra = vec!["metrics.runtime.pool".to_string()];
-        assert!(ignored("metrics.runtime.pool.steals_total", &extra));
+        assert!(ignored("metrics.runtime.pool.jobs", &extra));
         assert!(!ignored("metrics.runtime.cache.hits", &extra));
     }
 }

@@ -1,0 +1,145 @@
+//! Appends a noise-aware entry to the perf ledger.
+//!
+//! Runs a benchmark command N times (or reads pre-captured manifest
+//! files), collapses each headline value to its median and IQR, and
+//! appends one JSONL record to `bench_history/<name>.jsonl` — the history
+//! `perf_gate` compares future runs against.
+//!
+//! ```text
+//! perf_ledger --repeats 5 -- target/release/trap_kernel --json
+//! perf_ledger --manifest run1.json --manifest run2.json --manifest run3.json
+//! perf_ledger --keys soa_ns_per_trap_10000 --repeats 3 -- target/release/trap_kernel --json
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use selfheal_bench::ledger;
+use selfheal_telemetry::{git_describe, json};
+
+struct Args {
+    history: PathBuf,
+    repeats: usize,
+    keys: Option<Vec<String>>,
+    manifests: Vec<PathBuf>,
+    command: Vec<String>,
+}
+
+const USAGE: &str = "usage: perf_ledger [--history <dir>] [--repeats <n>] [--keys k1,k2] \
+                     (--manifest <path>... | -- <benchmark command printing --json>)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        history: PathBuf::from("bench_history"),
+        repeats: 5,
+        keys: None,
+        manifests: Vec::new(),
+        command: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--history" => {
+                parsed.history = args.next().map(PathBuf::from).ok_or("--history needs a dir")?;
+            }
+            "--repeats" => {
+                parsed.repeats = args
+                    .next()
+                    .and_then(|raw| raw.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or("--repeats needs a positive count")?;
+            }
+            "--keys" => {
+                let list = args.next().ok_or("--keys needs a comma-separated list")?;
+                parsed.keys = Some(list.split(',').map(str::to_string).collect());
+            }
+            "--manifest" => {
+                parsed
+                    .manifests
+                    .push(args.next().map(PathBuf::from).ok_or("--manifest needs a path")?);
+            }
+            "--" => {
+                parsed.command = args.collect();
+                break;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if parsed.manifests.is_empty() == parsed.command.is_empty() {
+        return Err(format!(
+            "pass either --manifest files or a benchmark command after --\n{USAGE}"
+        ));
+    }
+    Ok(parsed)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let manifests: Vec<json::Json> = if args.command.is_empty() {
+        args.manifests
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|err| format!("{}: {err}", path.display()))?;
+                json::parse(&text).map_err(|err| format!("{}: {err}", path.display()))
+            })
+            .collect::<Result<_, _>>()?
+    } else {
+        eprintln!(
+            "perf_ledger: running `{}` ×{}",
+            args.command.join(" "),
+            args.repeats
+        );
+        ledger::run_repeats(&args.command, args.repeats).map_err(|err| err.to_string())?
+    };
+    let (name, config_hash, mut samples) = ledger::collect_samples(&manifests)
+        .ok_or("manifests disagree on name/config or are not bench manifests")?;
+    if let Some(keys) = &args.keys {
+        samples.retain(|key, _| keys.iter().any(|k| k == key));
+        for key in keys {
+            if !samples.contains_key(key) {
+                return Err(format!("key {key} not found in the manifest values"));
+            }
+        }
+    }
+    if samples.is_empty() {
+        return Err(format!("{name}: no numeric values to record"));
+    }
+    let created_unix_s = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let entry = ledger::LedgerEntry::from_samples(
+        &name,
+        &config_hash,
+        git_describe(),
+        created_unix_s,
+        &samples,
+    );
+    ledger::append(&args.history, &entry).map_err(|err| err.to_string())?;
+    let path = ledger::history_path(&args.history, &name);
+    println!(
+        "perf_ledger: appended {} (n={}, {} key(s)) to {}",
+        name,
+        entry.n,
+        entry.keys.len(),
+        path.display()
+    );
+    let entries: BTreeMap<String, ledger::KeyStats> = entry.keys;
+    for (key, stats) in entries {
+        println!("  {key}: median={:.6} iqr={:.6}", stats.median, stats.iqr);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("perf_ledger: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

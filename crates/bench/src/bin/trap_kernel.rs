@@ -85,6 +85,9 @@ fn main() {
     let mut headline_speedup = 0.0;
 
     for (i, &size) in SIZES.iter().enumerate() {
+        // One top-level span per size: the manifest's phase ledger gets
+        // a `kernel_<size>` entry instead of the old empty `phases: []`.
+        let phase = run.phase_named(format!("kernel_{size}"));
         let ensemble = ensemble_of(size, 2014 + i as u64);
         let traps: Vec<Trap> = ensemble.iter().collect();
         let count = traps.len();
@@ -108,6 +111,7 @@ fn main() {
         let soa_ns = time_per_step(budget, count, || {
             soa.advance(cond, dt);
         });
+        drop(phase);
 
         let per_trap = |total_ns: f64| total_ns / count as f64;
         let speedup = scalar_ns / soa_ns;

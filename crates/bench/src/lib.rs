@@ -12,6 +12,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ledger;
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -60,50 +62,84 @@ pub fn campaign() -> ExperimentOutputs {
 ///   machine's parallelism). Results are bit-identical at any setting;
 /// * `--no-cache` — disable the `target/cache/` result cache for this
 ///   run (every stage recomputes);
-/// * `SELFHEAL_TELEMETRY=pretty|jsonl:<path>` — attach a span/event sink
-///   for the duration of the run.
+/// * `--trace <path>` — write a Chrome/Perfetto trace of the run (same
+///   exporter as `SELFHEAL_TELEMETRY=trace:<path>`, as an extra sink);
+/// * `--folded <path>` — write the run's self-time profile in the
+///   folded-stacks format `flamegraph.pl` consumes;
+/// * `SELFHEAL_TELEMETRY=pretty|jsonl:<path>|trace:<path>` — attach a
+///   span/event sink for the duration of the run.
 #[derive(Debug)]
 pub struct BenchRun {
     name: &'static str,
     json: bool,
     out: Option<PathBuf>,
+    folded: Option<PathBuf>,
     values: Vec<(String, f64)>,
     _sink: Option<telemetry::SinkGuard>,
+    _trace: Option<telemetry::SinkGuard>,
 }
 
 impl BenchRun {
-    /// Starts a run: parses `--json` / `--out`, attaches any env-configured
-    /// sink, and turns on metrics so the run accumulates a fresh snapshot.
+    /// Starts a run: parses the common flags, attaches any env-configured
+    /// sink plus the `--trace` exporter, and resets metrics and the
+    /// self-time ledger so the run accumulates a fresh snapshot.
+    ///
+    /// Sinks are installed *before* the thread/cache flags are applied:
+    /// `--threads` sizes the global pool whose workers announce themselves
+    /// with a `runtime.worker.start` event the trace must not miss.
     #[must_use]
     pub fn start(name: &'static str) -> Self {
         let mut json = false;
         let mut out = None;
+        let mut trace = None;
+        let mut folded = None;
+        let mut threads = None;
+        let mut no_cache = false;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--json" => json = true,
                 "--out" => out = args.next().map(PathBuf::from),
+                "--trace" => trace = args.next().map(PathBuf::from),
+                "--folded" => folded = args.next().map(PathBuf::from),
                 "--threads" => {
-                    let threads = args.next().and_then(|raw| raw.parse::<usize>().ok());
-                    if let Some(threads) = threads {
-                        runtime::set_global_threads(threads);
+                    let parsed = args.next().and_then(|raw| raw.parse::<usize>().ok());
+                    if parsed.is_some() {
+                        threads = parsed;
                     } else {
                         eprintln!("{name}: --threads expects a worker count; ignoring");
                     }
                 }
-                "--no-cache" => runtime::set_cache_enabled(false),
+                "--no-cache" => no_cache = true,
                 _ => {}
             }
         }
         let sink = telemetry::init_from_env();
+        let trace_sink = trace.and_then(|path| match telemetry::ChromeTraceSink::create(&path) {
+            Ok(sink) => Some(telemetry::install_sink(std::sync::Arc::new(sink))),
+            Err(err) => {
+                eprintln!("{name}: cannot open trace file {}: {err}", path.display());
+                None
+            }
+        });
         telemetry::metrics::reset();
         telemetry::metrics::set_enabled(true);
+        telemetry::reset_self_time();
+        telemetry::register_thread_name("main");
+        if let Some(threads) = threads {
+            runtime::set_global_threads(threads);
+        }
+        if no_cache {
+            runtime::set_cache_enabled(false);
+        }
         BenchRun {
             name,
             json,
             out,
+            folded,
             values: Vec::new(),
             _sink: sink,
+            _trace: trace_sink,
         }
     }
 
@@ -135,6 +171,17 @@ impl BenchRun {
         telemetry::span!(name)
     }
 
+    /// [`phase`](Self::phase) with a computed name (per-size benchmark
+    /// sections and the like).
+    #[must_use]
+    pub fn phase_named(&self, name: impl AsRef<str>) -> telemetry::Span {
+        if telemetry::telemetry_enabled() {
+            telemetry::Span::enter(name.as_ref(), Vec::new())
+        } else {
+            telemetry::Span::disabled()
+        }
+    }
+
     /// Records a headline result: it lands in the manifest's `values` map
     /// and, as `bench.<name>.<key>`, in the metric snapshot.
     pub fn value(&mut self, key: &str, value: f64) {
@@ -158,6 +205,18 @@ impl BenchRun {
             eprintln!("{}: could not write manifest to {}: {err}", self.name, path.display());
         } else if !self.json {
             println!("\nmanifest: {}", path.display());
+        }
+        if let Some(folded_path) = &self.folded {
+            let folded = telemetry::render_folded(&manifest.self_time);
+            if let Err(err) = std::fs::write(folded_path, folded) {
+                eprintln!(
+                    "{}: could not write folded stacks to {}: {err}",
+                    self.name,
+                    folded_path.display(),
+                );
+            } else if !self.json {
+                println!("folded stacks: {}", folded_path.display());
+            }
         }
         if self.json {
             println!("{}", manifest.render());

@@ -1,0 +1,133 @@
+//! End-to-end fixture test for the perf ledger + gate pair: seed a
+//! history from fixture manifests via `perf_ledger`, then check that
+//! `perf_gate` passes IQR-level noise, fails a synthetic 2× slowdown
+//! with a non-zero exit, and that `--smoke` validates the history.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const LEDGER_BIN: &str = env!("CARGO_BIN_EXE_perf_ledger");
+const GATE_BIN: &str = env!("CARGO_BIN_EXE_perf_gate");
+
+/// A minimal bench manifest: exactly the fields the ledger reads.
+fn manifest_json(wall_ms: f64) -> String {
+    format!(
+        "{{\"name\": \"fixture_bench\", \"config_hash\": \"cfg1\", \
+         \"values\": {{\"wall_ms\": {wall_ms}}}}}"
+    )
+}
+
+fn write_manifest(dir: &Path, file: &str, wall_ms: f64) -> PathBuf {
+    let path = dir.join(file);
+    fs::write(&path, manifest_json(wall_ms)).expect("write fixture manifest");
+    path
+}
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|err| panic!("spawning {bin}: {err}"))
+}
+
+#[test]
+fn gate_passes_noise_and_fails_synthetic_slowdown() {
+    let scratch = std::env::temp_dir().join(format!(
+        "selfheal_perf_gate_fixture_{}",
+        std::process::id()
+    ));
+    let history = scratch.join("bench_history");
+    let _ = fs::remove_dir_all(&scratch);
+    fs::create_dir_all(&scratch).expect("create scratch dir");
+    let history_arg = history.to_str().expect("utf-8 scratch path");
+
+    // Seed the ledger with one noise-aware entry: five repeats around
+    // 100 ms (median 100.5, IQR ≈ 1.5).
+    let repeats: Vec<PathBuf> = [100.0, 101.5, 99.0, 102.0, 100.5]
+        .iter()
+        .enumerate()
+        .map(|(i, ms)| write_manifest(&scratch, &format!("repeat{i}.json"), *ms))
+        .collect();
+    let mut ledger_args = vec!["--history", history_arg];
+    for path in &repeats {
+        ledger_args.push("--manifest");
+        ledger_args.push(path.to_str().expect("utf-8 manifest path"));
+    }
+    let seeded = run(LEDGER_BIN, &ledger_args);
+    assert!(
+        seeded.status.success(),
+        "perf_ledger failed: {}",
+        String::from_utf8_lossy(&seeded.stderr)
+    );
+    let history_file = history.join("fixture_bench.jsonl");
+    let recorded = fs::read_to_string(&history_file).expect("history file appended");
+    assert_eq!(recorded.lines().count(), 1, "one JSONL entry per append");
+
+    // IQR-level noise passes: 106 ms vs 100.5 is well inside the
+    // rel_floor (10 % of baseline) tolerance.
+    let noisy = write_manifest(&scratch, "noisy.json", 106.0);
+    let pass = run(
+        GATE_BIN,
+        &["--history", history_arg, "--manifest", noisy.to_str().unwrap()],
+    );
+    assert!(
+        pass.status.success(),
+        "gate must pass noise, said: {}{}",
+        String::from_utf8_lossy(&pass.stdout),
+        String::from_utf8_lossy(&pass.stderr)
+    );
+    let report = String::from_utf8_lossy(&pass.stdout).to_string();
+    assert!(report.contains("ok"), "verdict line printed: {report}");
+
+    // A synthetic 2× slowdown fails with exit code 1.
+    let slow = write_manifest(&scratch, "slow.json", 201.0);
+    let fail = run(
+        GATE_BIN,
+        &["--history", history_arg, "--manifest", slow.to_str().unwrap()],
+    );
+    assert_eq!(
+        fail.status.code(),
+        Some(1),
+        "gate must exit 1 on regression, said: {}{}",
+        String::from_utf8_lossy(&fail.stdout),
+        String::from_utf8_lossy(&fail.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&fail.stdout).contains("REGRESSED"),
+        "regression verdict printed"
+    );
+
+    // A different config hash has no baseline → passes (config changes
+    // seed a fresh baseline instead of tripping the gate).
+    let other = scratch.join("other_config.json");
+    fs::write(
+        &other,
+        "{\"name\": \"fixture_bench\", \"config_hash\": \"cfg2\", \
+         \"values\": {\"wall_ms\": 500.0}}",
+    )
+    .expect("write other-config manifest");
+    let fresh = run(
+        GATE_BIN,
+        &["--history", history_arg, "--manifest", other.to_str().unwrap()],
+    );
+    assert!(
+        fresh.status.success(),
+        "unknown config must pass: {}",
+        String::from_utf8_lossy(&fresh.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&fresh.stdout).contains("no same-config baseline"),
+        "fresh-baseline verdict printed"
+    );
+
+    // --smoke validates the committed-style history and the gate logic.
+    let smoke = run(GATE_BIN, &["--history", history_arg, "--smoke"]);
+    assert!(
+        smoke.status.success(),
+        "--smoke must pass on a valid history: {}",
+        String::from_utf8_lossy(&smoke.stderr)
+    );
+
+    let _ = fs::remove_dir_all(&scratch);
+}

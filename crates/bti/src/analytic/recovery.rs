@@ -1,7 +1,7 @@
 //! Eq. (3)/(4): first-order accelerated recovery.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::{ElectronVolts, Fraction, Millivolts, PerVolt, Seconds};
+use selfheal_units::{ElectronVolts, Fraction, Millivolts, PerSecond, PerVolt, Seconds};
 
 use crate::condition::Environment;
 use crate::constants::ACTIVATION_ENERGY_EMISSION_EV;
@@ -48,8 +48,8 @@ use crate::constants::ACTIVATION_ENERGY_EMISSION_EV;
 pub struct RecoveryModel {
     /// `k2`: weight of the log terms in `η`.
     pub k2: f64,
-    /// `Cr` (1/s): sets where the recovery log ramp begins.
-    pub log_rate_per_s: f64,
+    /// `Cr`: sets where the recovery log ramp begins.
+    pub log_rate_per_s: PerSecond,
     /// `g0`: base detrapping gain (passive recovery at 20 °C / 0 V).
     pub base_gain: f64,
     /// `bV`: gain added per volt of reverse bias.
@@ -66,7 +66,7 @@ impl Default for RecoveryModel {
     fn default() -> Self {
         RecoveryModel {
             k2: 2.5,
-            log_rate_per_s: 2e-2,
+            log_rate_per_s: PerSecond::new(2e-2),
             base_gain: 0.6,
             voltage_gain_per_volt: PerVolt::new(14.0 / 3.0),
             thermal_activation: ElectronVolts::new(ACTIVATION_ENERGY_EMISSION_EV),
@@ -98,8 +98,8 @@ impl RecoveryModel {
     pub fn eta(&self, t2: Seconds, t1: Seconds) -> f64 {
         let t2 = t2.get().max(0.0);
         let t1 = t1.get().max(0.0);
-        let num = self.k2 * (1.0 + self.log_rate_per_s * t2).ln();
-        let den = 1.0 + self.k2 * (1.0 + self.log_rate_per_s * (t1 + t2)).ln();
+        let num = self.k2 * (1.0 + self.log_rate_per_s * Seconds::new(t2)).ln();
+        let den = 1.0 + self.k2 * (1.0 + self.log_rate_per_s * Seconds::new(t1 + t2)).ln();
         num / den
     }
 

@@ -1,7 +1,7 @@
 //! Eq. (1)/(2): first-order wearout under stress.
 
 use serde::{Deserialize, Serialize};
-use selfheal_units::{ElectronVolts, Millivolts, PerVolt, Seconds};
+use selfheal_units::{ElectronVolts, Millivolts, PerSecond, PerVolt, Seconds};
 
 use crate::condition::{DeviceCondition, Environment};
 use crate::constants::{reference_stress_voltage, reference_temperature};
@@ -36,8 +36,8 @@ use crate::constants::{reference_stress_voltage, reference_temperature};
 pub struct StressModel {
     /// `A`: overall magnitude at the reference condition.
     pub amplitude: Millivolts,
-    /// `Cs` (1/s): sets where the log ramp begins.
-    pub log_rate_per_s: f64,
+    /// `Cs`: sets where the log ramp begins.
+    pub log_rate_per_s: PerSecond,
     /// Fraction of newly inflicted shift that is irreversible.
     pub permanent_fraction: f64,
     /// *Effective* activation energy of the measured degradation
@@ -55,7 +55,7 @@ impl Default for StressModel {
     fn default() -> Self {
         StressModel {
             amplitude: Millivolts::new(5.6),
-            log_rate_per_s: 1e-2,
+            log_rate_per_s: PerSecond::new(1e-2),
             permanent_fraction: 0.05,
             thermal_activation: ElectronVolts::new(0.25),
             voltage_gain_per_volt: PerVolt::new(2.5),
@@ -85,7 +85,7 @@ impl StressModel {
     /// (Eq. 1). Negative times are treated as zero.
     #[must_use]
     pub fn delta_vth(&self, t: Seconds, env: Environment) -> Millivolts {
-        let t = t.get().max(0.0);
+        let t = Seconds::new(t.get().max(0.0));
         Millivolts::new(self.amplitude.get() * self.phi(env) * (1.0 + self.log_rate_per_s * t).ln())
     }
 
@@ -121,7 +121,7 @@ impl StressModel {
             return Seconds::ZERO;
         }
         let x = d / (self.amplitude.get() * self.phi(env));
-        Seconds::new((x.exp() - 1.0) / self.log_rate_per_s)
+        (x.exp() - 1.0) / self.log_rate_per_s
     }
 
     /// Inverts [`Self::delta_vth_with_duty`]: the wall-clock time under
@@ -137,7 +137,7 @@ impl StressModel {
         }
         let relief = duty.powf(Self::AC_RELIEF_EXPONENT);
         let x = d / (relief * self.amplitude.get() * self.phi(cond.env()));
-        Seconds::new((x.exp() - 1.0) / (self.log_rate_per_s * duty))
+        (x.exp() - 1.0) / (self.log_rate_per_s * duty)
     }
 }
 

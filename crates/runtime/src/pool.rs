@@ -91,6 +91,9 @@ impl Shared {
             }
             if let Some(job) = self.queue(victim).pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                // Mark the steal on the thief's trace row (victim is the
+                // deque slot; its worker index is victim - 1).
+                telemetry::event!("runtime.pool.steal", victim = victim - 1);
                 return Some(job);
             }
         }
@@ -107,6 +110,10 @@ impl Shared {
     }
 
     fn worker_loop(&self, home: usize) {
+        // Label this thread's timeline row for trace exports and announce
+        // the worker so a trace shows when the pool spun up.
+        telemetry::register_thread_name(&format!("worker-{}", home - 1));
+        telemetry::event!("runtime.worker.start", worker = home - 1);
         loop {
             if let Some(job) = self.find_job(home) {
                 self.run_job(job);
@@ -404,6 +411,15 @@ impl Pool {
             telemetry::metrics::gauge_set("runtime.pool.queue_depth", depth);
             telemetry::metrics::gauge_max("runtime.pool.max_queue_depth", depth);
         }
+        if telemetry::events_enabled() {
+            // Counter tracks for trace exports: sampled at submit (full
+            // queues) and again after the drain below (empty queues).
+            telemetry::emit_counter("runtime.pool.queue_depth", self.shared.depth() as f64);
+            telemetry::emit_counter(
+                "runtime.pool.steals",
+                self.shared.steals.load(Ordering::Relaxed) as f64,
+            );
+        }
         self.shared.wake_all();
 
         // Help drain the batch instead of blocking outright: lets
@@ -430,6 +446,13 @@ impl Pool {
                 .unwrap_or_else(PoisonError::into_inner);
         }
 
+        if telemetry::events_enabled() {
+            telemetry::emit_counter("runtime.pool.queue_depth", self.shared.depth() as f64);
+            telemetry::emit_counter(
+                "runtime.pool.steals",
+                self.shared.steals.load(Ordering::Relaxed) as f64,
+            );
+        }
         if metrics_on {
             let steals = self.shared.steals.load(Ordering::Relaxed);
             let executed = self.shared.executed.load(Ordering::Relaxed);

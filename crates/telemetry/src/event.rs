@@ -1,7 +1,10 @@
 //! Events: the unit of data every sink consumes.
 
 use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
 use crate::json::Json;
 
@@ -72,6 +75,9 @@ pub enum EventKind {
     SpanStart,
     /// A span closed (guard dropped); carries the wall-clock duration.
     SpanEnd,
+    /// A sampled counter value (`trace_counter!`) — rendered as a counter
+    /// track by the Chrome trace sink, one JSONL line elsewhere.
+    Counter,
 }
 
 impl EventKind {
@@ -82,6 +88,7 @@ impl EventKind {
             EventKind::Point => "event",
             EventKind::SpanStart => "span_start",
             EventKind::SpanEnd => "span_end",
+            EventKind::Counter => "counter",
         }
     }
 }
@@ -102,6 +109,9 @@ pub struct Event {
     pub depth: usize,
     /// Global monotone sequence number (total order across threads).
     pub seq: u64,
+    /// Nanoseconds since the process trace epoch ([`trace_epoch_ns`]) at
+    /// emission — the timeline position trace exports plot events at.
+    pub ts_ns: u64,
     /// Hash of the emitting thread's id — lets collectors running under a
     /// multi-threaded test harness separate interleaved streams.
     pub thread: u64,
@@ -122,6 +132,7 @@ impl Event {
             ("parent_id".to_string(), Json::Number(self.parent_id as f64)),
             ("depth".to_string(), Json::Number(self.depth as f64)),
             ("seq".to_string(), Json::Number(self.seq as f64)),
+            ("ts_ns".to_string(), Json::Number(self.ts_ns as f64)),
         ];
         if let Some(ns) = self.wall_ns {
             pairs.push(("wall_ns".to_string(), Json::Number(ns as f64)));
@@ -149,6 +160,39 @@ pub fn current_thread_hash() -> u64 {
     hasher.finish()
 }
 
+/// The process trace epoch: the `Instant` every event timestamp is
+/// measured from, pinned on first use.
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the process trace epoch. Monotone within a
+/// thread and comparable across threads (one shared `Instant` origin);
+/// the first caller anchors the epoch at zero.
+#[must_use]
+pub fn trace_epoch_ns() -> u64 {
+    let epoch = TRACE_EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Human-readable names for threads, keyed by [`current_thread_hash`].
+/// Pool workers register here so trace exports label their timeline rows.
+static THREAD_NAMES: Mutex<BTreeMap<u64, String>> = Mutex::new(BTreeMap::new());
+
+fn thread_names() -> MutexGuard<'static, BTreeMap<u64, String>> {
+    THREAD_NAMES.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Names the calling thread for trace exports (last registration wins —
+/// thread ids can be reused after a thread exits).
+pub fn register_thread_name(name: &str) {
+    thread_names().insert(current_thread_hash(), name.to_string());
+}
+
+/// The registered name for a thread hash, if any.
+#[must_use]
+pub fn thread_name(hash: u64) -> Option<String> {
+    thread_names().get(&hash).cloned()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +215,7 @@ mod tests {
             parent_id: 1,
             depth: 1,
             seq: 42,
+            ts_ns: 7,
             thread: 9,
             wall_ns: Some(1500),
             fields: vec![("vddr_mv".to_string(), FieldValue::F64(-300.0))],
@@ -191,6 +236,7 @@ mod tests {
             parent_id: 0,
             depth: 0,
             seq: 1,
+            ts_ns: 0,
             thread: 2,
             wall_ns: None,
             fields: Vec::new(),
@@ -203,5 +249,22 @@ mod tests {
     #[test]
     fn thread_hash_is_stable_within_a_thread() {
         assert_eq!(current_thread_hash(), current_thread_hash());
+    }
+
+    #[test]
+    fn trace_epoch_is_monotone() {
+        let a = trace_epoch_ns();
+        let b = trace_epoch_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn thread_names_register_and_resolve() {
+        register_thread_name("event-test-thread");
+        assert_eq!(
+            thread_name(current_thread_hash()).as_deref(),
+            Some("event-test-thread")
+        );
+        assert_eq!(thread_name(u64::MAX), None, "unregistered hash");
     }
 }

@@ -52,15 +52,21 @@ pub mod metrics;
 pub mod sink;
 pub mod span;
 
-pub use event::{current_thread_hash, Event, EventKind, Field, FieldValue};
+pub use event::{
+    current_thread_hash, register_thread_name, thread_name, trace_epoch_ns, Event, EventKind,
+    Field, FieldValue,
+};
 pub use json::Json;
 pub use manifest::{fnv1a, git_describe, RunManifest};
 pub use metrics::{counter_add, gauge_set, histogram_observe, Metric, MetricsSnapshot};
 pub use sink::{
-    events_enabled, flush_all, init_from_env, install_sink, JsonlSink, MemorySink, Sink,
-    SinkGuard, StderrSink, ENV_VAR,
+    events_enabled, flush_all, init_from_env, install_sink, ChromeTraceSink, JsonlSink,
+    MemorySink, Sink, SinkGuard, StderrSink, ENV_VAR,
 };
-pub use span::{take_phase_timings, PhaseTiming, Span};
+pub use span::{
+    render_folded, reset_self_time, self_time_snapshot, take_phase_timings, take_self_time,
+    PhaseTiming, SelfTimeEntry, Span,
+};
 
 /// True when any telemetry consumer is active: a sink is installed or the
 /// metrics registry is recording. Span guards arm themselves on this (the
@@ -86,12 +92,35 @@ pub fn emit_point(name: &str, fields: Vec<Field>) {
         parent_id: span_id,
         depth,
         seq: sink::next_seq(),
+        ts_ns: event::trace_epoch_ns(),
         thread: current_thread_hash(),
         wall_ns: None,
         fields: fields
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
+    });
+}
+
+/// Emits a counter-sample event (a point on a counter track in trace
+/// exports). Prefer the [`trace_counter!`] macro, which skips value
+/// evaluation when no sink is installed.
+pub fn emit_counter(name: &str, value: f64) {
+    if !sink::events_enabled() {
+        return;
+    }
+    let (span_id, depth) = span::current_span_id();
+    sink::dispatch(&Event {
+        kind: EventKind::Counter,
+        name: name.to_string(),
+        span_id,
+        parent_id: span_id,
+        depth,
+        seq: sink::next_seq(),
+        ts_ns: event::trace_epoch_ns(),
+        thread: current_thread_hash(),
+        wall_ns: None,
+        fields: vec![("value".to_string(), FieldValue::F64(value))],
     });
 }
 
@@ -124,6 +153,20 @@ macro_rules! event {
                 $name,
                 vec![$((stringify!($key), $crate::FieldValue::from($value))),*],
             );
+        }
+    };
+}
+
+/// Samples a value onto a named counter *track* for trace exports:
+/// `trace_counter!("runtime.pool.queue_depth", depth)`. Unlike
+/// [`counter!`] (a metrics-registry aggregate), this emits a timestamped
+/// event that the Chrome trace sink renders as a counter graph; the value
+/// expression is not evaluated while no sink is installed.
+#[macro_export]
+macro_rules! trace_counter {
+    ($name:expr, $value:expr $(,)?) => {
+        if $crate::events_enabled() {
+            $crate::emit_counter($name, f64::from($value));
         }
     };
 }

@@ -13,7 +13,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::json::Json;
 use crate::metrics::{self, MetricsSnapshot};
-use crate::span::{self, PhaseTiming};
+use crate::span::{self, PhaseTiming, SelfTimeEntry};
 
 /// 64-bit FNV-1a over arbitrary bytes — the config-hash function.
 ///
@@ -60,6 +60,11 @@ pub struct RunManifest {
     pub created_unix_s: u64,
     /// Per-phase wall-clock durations, in completion order.
     pub phases: Vec<PhaseTiming>,
+    /// Self-time profile at capture: per folded call stack, call counts
+    /// and total vs. self wall-clock (largest self time first). Unlike
+    /// `phases` this is *not* drained — it is a snapshot of the ledger
+    /// accumulated since the last [`crate::reset_self_time`].
+    pub self_time: Vec<SelfTimeEntry>,
     /// Snapshot of the metrics registry at capture.
     pub metrics: MetricsSnapshot,
     /// Arbitrary named result values the caller attached.
@@ -81,6 +86,7 @@ impl RunManifest {
                 .duration_since(UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
             phases: span::take_phase_timings(),
+            self_time: span::self_time_snapshot(),
             metrics: metrics::snapshot(),
             values: BTreeMap::new(),
         }
@@ -109,6 +115,21 @@ impl RunManifest {
                     Json::object(vec![
                         ("name".to_string(), Json::String(p.name.clone())),
                         ("wall_s".to_string(), Json::Number(p.wall_s)),
+                        ("self_s".to_string(), Json::Number(p.self_s)),
+                    ])
+                })
+                .collect(),
+        );
+        let self_time = Json::Array(
+            self.self_time
+                .iter()
+                .map(|e| {
+                    Json::object(vec![
+                        ("stack".to_string(), Json::String(e.stack.clone())),
+                        ("name".to_string(), Json::String(e.name.clone())),
+                        ("count".to_string(), Json::Number(e.count as f64)),
+                        ("total_ns".to_string(), Json::Number(e.total_ns as f64)),
+                        ("self_ns".to_string(), Json::Number(e.self_ns as f64)),
                     ])
                 })
                 .collect(),
@@ -130,6 +151,7 @@ impl RunManifest {
                 Json::Number(self.created_unix_s as f64),
             ),
             ("phases".to_string(), phases),
+            ("self_time".to_string(), self_time),
             ("metrics".to_string(), self.metrics.to_json()),
             (
                 "values".to_string(),

@@ -6,7 +6,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use crate::event::{current_thread_hash, Event};
+use crate::event::{current_thread_hash, thread_name, Event, EventKind};
+use crate::json::Json;
 
 /// A destination for telemetry events.
 ///
@@ -98,7 +99,11 @@ pub fn flush_all() {
 /// Pretty-printer for interactive runs: one line per event on stderr,
 /// indented by span depth.
 #[derive(Debug, Default)]
-pub struct StderrSink;
+pub struct StderrSink {
+    /// The end-of-run summary must print once even though flush runs
+    /// both at manifest capture and at sink-guard drop.
+    summarized: AtomicBool,
+}
 
 impl Sink for StderrSink {
     fn record(&self, event: &Event) {
@@ -119,6 +124,9 @@ impl Sink for StderrSink {
     /// quantiles the manifest snapshot stores — plus a one-line pool
     /// utilisation digest when the run used the execution pool.
     fn flush(&self) {
+        if self.summarized.swap(true, Ordering::Relaxed) {
+            return;
+        }
         let snapshot = crate::metrics::snapshot();
         for (name, metric) in &snapshot.metrics {
             let crate::metrics::Metric::Histogram(h) = metric else {
@@ -160,6 +168,37 @@ impl Sink for StderrSink {
             }
             eprintln!("{line}");
         }
+        // A fully-hit (or fully-missed) run only ever creates one of the
+        // two counters; the absent one reads as zero.
+        let hits = scalar("runtime.cache.hits");
+        let misses = scalar("runtime.cache.misses");
+        if hits.is_some() || misses.is_some() {
+            let (hits, misses) = (hits.unwrap_or(0.0), misses.unwrap_or(0.0));
+            let total = hits + misses;
+            if total > 0.0 {
+                eprintln!(
+                    "[telemetry] cache: {hits:.0} hit(s) / {misses:.0} miss(es) ({:.1}% hit rate)",
+                    100.0 * hits / total,
+                );
+            }
+        }
+        let self_time = crate::span::self_time_snapshot();
+        if !self_time.is_empty() {
+            eprintln!(
+                "[telemetry] self-time (top {} of {} stacks):",
+                self_time.len().min(5),
+                self_time.len(),
+            );
+            for entry in self_time.iter().take(5) {
+                eprintln!(
+                    "[telemetry]   {:<40} calls={:>6} self={:>10.3} ms total={:>10.3} ms",
+                    entry.stack,
+                    entry.count,
+                    entry.self_ns as f64 / 1e6,
+                    entry.total_ns as f64 / 1e6,
+                );
+            }
+        }
     }
 }
 
@@ -193,6 +232,153 @@ impl Sink for JsonlSink {
     fn flush(&self) {
         let mut writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = writer.flush();
+    }
+}
+
+/// Chrome/Perfetto trace-event exporter (`SELFHEAL_TELEMETRY=trace:<path>`).
+///
+/// Buffers every event in memory and, on flush, rewrites the output file
+/// as one strict-JSON trace (`{"traceEvents": [...]}`) that loads in
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev):
+///
+/// * spans become `B`/`E` (duration begin/end) pairs on the emitting
+///   thread's timeline row;
+/// * `event!` points become thread-scoped instants (`ph: "i"`);
+/// * `trace_counter!` samples become counter tracks (`ph: "C"`);
+/// * threads that called [`crate::register_thread_name`] (the runtime
+///   pool's workers do) get `thread_name` metadata, so a `fig5 --threads 8`
+///   run shows one labelled row per worker.
+///
+/// Thread ids are remapped to small integers in order of first
+/// appearance (tid 0 is whichever thread emitted first — in practice the
+/// main thread, since it opens the first span before the pool spins up).
+/// Flushing is idempotent: the buffer is kept so a later flush rewrites
+/// the file with strictly more events.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    events: Mutex<Vec<Event>>,
+}
+
+impl ChromeTraceSink {
+    /// Creates the sink and verifies the output file is writable now
+    /// (truncating it), so a bad path fails at init rather than at the
+    /// end of a long run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying file-creation error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        File::create(path)?;
+        Ok(ChromeTraceSink {
+            path: path.to_path_buf(),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Renders the buffered events as a Chrome trace-event JSON document.
+    fn render(&self) -> String {
+        let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        // Remap thread hashes to compact tids in order of first appearance.
+        let mut tids: Vec<u64> = Vec::new();
+        let tid_of = |thread: u64, tids: &mut Vec<u64>| -> f64 {
+            match tids.iter().position(|&t| t == thread) {
+                Some(at) => at as f64,
+                None => {
+                    tids.push(thread);
+                    (tids.len() - 1) as f64
+                }
+            }
+        };
+        let mut trace: Vec<Json> = Vec::new();
+        for event in events.iter() {
+            let tid = tid_of(event.thread, &mut tids);
+            let ts_us = event.ts_ns as f64 / 1e3;
+            let mut pairs = vec![
+                ("name".to_string(), Json::String(event.name.clone())),
+                ("ph".to_string(), Json::String(phase_of(event.kind).to_string())),
+                ("ts".to_string(), Json::Number(ts_us)),
+                ("pid".to_string(), Json::Number(1.0)),
+                ("tid".to_string(), Json::Number(tid)),
+            ];
+            if event.kind == EventKind::Point {
+                // Thread-scoped instant: a tick on the emitting row only.
+                pairs.push(("s".to_string(), Json::String("t".to_string())));
+            }
+            if !event.fields.is_empty() {
+                pairs.push((
+                    "args".to_string(),
+                    Json::object(
+                        event
+                            .fields
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.to_json()))
+                            .collect(),
+                    ),
+                ));
+            }
+            trace.push(Json::object(pairs));
+        }
+        // Name the rows: registered names (pool workers, harness threads)
+        // win; anonymous threads keep a stable hash-derived label.
+        for (tid, thread) in tids.iter().enumerate() {
+            let label =
+                thread_name(*thread).unwrap_or_else(|| format!("thread-{thread:016x}"));
+            trace.push(Json::object(vec![
+                ("name".to_string(), Json::String("thread_name".to_string())),
+                ("ph".to_string(), Json::String("M".to_string())),
+                ("pid".to_string(), Json::Number(1.0)),
+                ("tid".to_string(), Json::Number(tid as f64)),
+                (
+                    "args".to_string(),
+                    Json::object(vec![("name".to_string(), Json::String(label))]),
+                ),
+            ]));
+        }
+        trace.push(Json::object(vec![
+            ("name".to_string(), Json::String("process_name".to_string())),
+            ("ph".to_string(), Json::String("M".to_string())),
+            ("pid".to_string(), Json::Number(1.0)),
+            (
+                "args".to_string(),
+                Json::object(vec![(
+                    "name".to_string(),
+                    Json::String("selfheal".to_string()),
+                )]),
+            ),
+        ]));
+        Json::object(vec![
+            ("traceEvents".to_string(), Json::Array(trace)),
+            (
+                "displayTimeUnit".to_string(),
+                Json::String("ms".to_string()),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// The trace-event phase character for each event kind.
+fn phase_of(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::SpanStart => "B",
+        EventKind::SpanEnd => "E",
+        EventKind::Point => "i",
+        EventKind::Counter => "C",
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event.clone());
+    }
+
+    fn flush(&self) {
+        // Whole-file rewrite keeps the output valid JSON at every flush.
+        let _ = std::fs::write(&self.path, self.render());
     }
 }
 
@@ -244,7 +430,8 @@ pub const ENV_VAR: &str = "SELFHEAL_TELEMETRY";
 ///
 /// * unset / empty / `off` — no sink (returns `None`);
 /// * `pretty` or `stderr` — the stderr pretty-printer;
-/// * `jsonl:<path>` — the JSONL file sink.
+/// * `jsonl:<path>` — the JSONL file sink;
+/// * `trace:<path>` — the Chrome/Perfetto trace exporter.
 ///
 /// Unrecognized values and file-creation failures print one warning to
 /// stderr and return `None` — a typo in an env var must not kill a
@@ -254,7 +441,7 @@ pub fn init_from_env() -> Option<SinkGuard> {
     let value = std::env::var(ENV_VAR).ok()?;
     match value.trim() {
         "" | "off" => None,
-        "pretty" | "stderr" => Some(install_sink(Arc::new(StderrSink))),
+        "pretty" | "stderr" => Some(install_sink(Arc::new(StderrSink::default()))),
         spec => {
             if let Some(path) = spec.strip_prefix("jsonl:") {
                 match JsonlSink::create(Path::new(path)) {
@@ -264,8 +451,16 @@ pub fn init_from_env() -> Option<SinkGuard> {
                         None
                     }
                 }
+            } else if let Some(path) = spec.strip_prefix("trace:") {
+                match ChromeTraceSink::create(Path::new(path)) {
+                    Ok(sink) => Some(install_sink(Arc::new(sink))),
+                    Err(err) => {
+                        eprintln!("[telemetry] cannot open {path}: {err}; telemetry disabled");
+                        None
+                    }
+                }
             } else {
-                eprintln!("[telemetry] unrecognized {ENV_VAR}={spec}; expected off | pretty | jsonl:<path>");
+                eprintln!("[telemetry] unrecognized {ENV_VAR}={spec}; expected off | pretty | jsonl:<path> | trace:<path>");
                 None
             }
         }
@@ -292,6 +487,7 @@ mod tests {
             parent_id: 0,
             depth: 0,
             seq: next_seq(),
+            ts_ns: crate::event::trace_epoch_ns(),
             thread: current_thread_hash(),
             wall_ns: None,
             fields: vec![("k".to_string(), FieldValue::U64(1))],
@@ -333,6 +529,92 @@ mod tests {
             let json = crate::json::parse(line).expect("test value");
             assert_eq!(json.get("kind").and_then(crate::json::Json::as_str), Some("event"));
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chrome_trace_sink_emits_valid_trace_events() {
+        let path = scratch_path(&format!(
+            "selfheal-telemetry-trace-{}.json",
+            current_thread_hash()
+        ));
+        {
+            let sink = ChromeTraceSink::create(&path).expect("test value");
+            let span = Event {
+                kind: EventKind::SpanStart,
+                name: "phase".to_string(),
+                ..sample_event("phase")
+            };
+            sink.record(&span);
+            sink.record(&sample_event("tick"));
+            sink.record(&Event {
+                kind: EventKind::Counter,
+                fields: vec![("value".to_string(), FieldValue::F64(3.0))],
+                ..sample_event("queue_depth")
+            });
+            sink.record(&Event {
+                kind: EventKind::SpanEnd,
+                wall_ns: Some(10),
+                ..span
+            });
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("test value");
+        let json = crate::json::parse(&text).expect("strict JSON");
+        let Some(Json::Array(trace)) = json.get("traceEvents") else {
+            panic!("traceEvents array present: {text}");
+        };
+        let phases: Vec<&str> = trace
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        // B/E pair, instant, counter, then metadata rows.
+        assert_eq!(phases, vec!["B", "i", "C", "E", "M", "M"]);
+        let counter = &trace[2];
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        let instant = &trace[1];
+        assert_eq!(instant.get("s").and_then(Json::as_str), Some("t"));
+        // All four events came from this thread: one shared compact tid.
+        let tids: Vec<f64> = trace[..4]
+            .iter()
+            .filter_map(|e| e.get("tid").and_then(Json::as_f64))
+            .collect();
+        assert_eq!(tids, vec![0.0; 4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chrome_trace_flush_is_idempotent_and_names_threads() {
+        let path = scratch_path(&format!(
+            "selfheal-telemetry-trace-names-{}.json",
+            current_thread_hash()
+        ));
+        {
+            let sink = ChromeTraceSink::create(&path).expect("test value");
+            crate::event::register_thread_name("trace-test-main");
+            sink.record(&sample_event("a"));
+            sink.flush();
+            sink.flush(); // second flush rewrites, must stay valid
+        }
+        let text = std::fs::read_to_string(&path).expect("test value");
+        let json = crate::json::parse(&text).expect("strict JSON");
+        let Some(Json::Array(trace)) = json.get("traceEvents") else {
+            panic!("traceEvents array present");
+        };
+        let named = trace.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("thread_name")
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    == Some("trace-test-main")
+        });
+        assert!(named, "thread_name metadata present: {text}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -44,7 +44,7 @@ pub use quantity::Quantity;
 pub use frequency::{Hertz, Megahertz};
 pub use ratio::{DutyCycle, Fraction, Percent, Ratio};
 pub use temperature::{Celsius, Kelvin};
-pub use time::{Hours, Minutes, Nanoseconds, Seconds};
+pub use time::{Hours, Minutes, Nanoseconds, PerSecond, Seconds};
 pub use voltage::{Millivolts, PerVolt, Volts};
 
 /// Boltzmann constant in electron-volts per kelvin.

@@ -322,6 +322,91 @@ impl Sum for Nanoseconds {
     }
 }
 
+/// A rate in reciprocal seconds (1/s).
+///
+/// The analytic BTI models' logarithmic-rate constants (`C` in
+/// `ln(1 + C·t)`) carry this dimension: multiplying by a duration cancels
+/// to the dimensionless argument of the logarithm, and dividing a
+/// dimensionless quantity by a rate recovers a duration (inverting the
+/// same law).
+///
+/// # Examples
+///
+/// ```
+/// use selfheal_units::{PerSecond, Seconds};
+///
+/// let rate = PerSecond::new(1e-2);
+/// // PerSecond × Seconds cancels to a dimensionless log argument.
+/// let x: f64 = rate * Seconds::new(300.0);
+/// assert!((x - 3.0).abs() < 1e-12);
+/// // ...and dividing by the rate recovers the duration.
+/// assert_eq!(x / rate, Seconds::new(300.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PerSecond(f64);
+
+impl PerSecond {
+    /// Zero rate — a process that never advances.
+    pub const ZERO: PerSecond = PerSecond(0.0);
+
+    /// Creates a rate from a value in 1/s.
+    #[must_use]
+    pub const fn new(per_second: f64) -> Self {
+        PerSecond(per_second)
+    }
+
+    /// Returns the raw value in 1/s.
+    #[must_use]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PerSecond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} /s", self.0)
+    }
+}
+
+impl Mul<Seconds> for PerSecond {
+    /// 1/s × s cancels to a dimensionless value.
+    type Output = f64;
+    fn mul(self, rhs: Seconds) -> f64 {
+        self.0 * rhs.get()
+    }
+}
+
+impl Mul<PerSecond> for Seconds {
+    /// s × 1/s cancels to a dimensionless value.
+    type Output = f64;
+    fn mul(self, rhs: PerSecond) -> f64 {
+        self.get() * rhs.0
+    }
+}
+
+impl Mul<f64> for PerSecond {
+    type Output = PerSecond;
+    fn mul(self, rhs: f64) -> PerSecond {
+        PerSecond(self.0 * rhs)
+    }
+}
+
+impl Mul<PerSecond> for f64 {
+    type Output = PerSecond;
+    fn mul(self, rhs: PerSecond) -> PerSecond {
+        PerSecond(self * rhs.0)
+    }
+}
+
+impl Div<PerSecond> for f64 {
+    /// Dimensionless ÷ (1/s) recovers a duration.
+    type Output = Seconds;
+    fn div(self, rhs: PerSecond) -> Seconds {
+        Seconds::new(self / rhs.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +453,23 @@ mod tests {
         let b = Seconds::new(20.0);
         assert_eq!(a.min(b), a);
         assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn per_second_cancels_against_seconds() {
+        let rate = PerSecond::new(1e-2);
+        assert!((rate * Seconds::new(300.0) - 3.0).abs() < 1e-12);
+        assert!((Seconds::new(300.0) * rate - 3.0).abs() < 1e-12);
+        assert_eq!(rate * 4.0, PerSecond::new(4e-2));
+        assert_eq!(4.0 * rate, PerSecond::new(4e-2));
+        assert_eq!(3.0 / rate, Seconds::new(300.0));
+        assert_eq!(PerSecond::ZERO.get(), 0.0);
+        assert_eq!(PerSecond::new(0.25).to_string(), "0.250 /s");
+        // Bit-exactness of the cancellation: the product is the plain f64
+        // product of the raw values, in the same operand order.
+        let c = 1.7e-2;
+        let t = 12_345.678;
+        assert_eq!(PerSecond::new(c) * Seconds::new(t), c * t);
     }
 
     #[test]

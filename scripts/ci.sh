@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The local CI gauntlet, in dependency order: build everything in release
+# mode, run the full test suite, run the domain-aware static-analysis
+# gate, and smoke-check the perf ledger + regression gate.
+#
+# `perf_gate --smoke` deliberately runs no benchmarks: it validates that
+# every committed bench_history/*.jsonl parses and that the gate's
+# discrimination logic holds on synthetic data, so this script stays
+# deterministic on noisy shared machines. Record fresh ledger entries
+# with `perf_ledger` and gate real runs with `perf_gate --repeats N --`
+# on quiet hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release" >&2
+cargo build --release
+
+echo "== cargo test" >&2
+cargo test -q
+
+echo "== cargo analyzer check" >&2
+cargo analyzer check
+
+echo "== perf_gate --smoke" >&2
+cargo run -q --release -p selfheal-bench --bin perf_gate -- --smoke
+
+echo "ci: all gates green" >&2
