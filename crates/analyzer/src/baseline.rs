@@ -109,13 +109,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn finding(lint: Lint, file: &str) -> Finding {
-        Finding {
-            lint,
-            file: PathBuf::from(file),
-            line: 1,
-            message: String::new(),
-            snippet: String::new(),
-        }
+        Finding::new(lint, PathBuf::from(file), 1, String::new(), String::new())
     }
 
     #[test]

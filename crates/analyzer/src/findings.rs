@@ -7,7 +7,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
-/// The six domain lints the analyzer implements.
+/// The domain lints the analyzer implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
     /// `pub fn` signatures passing physical quantities as bare `f64`.
@@ -22,16 +22,30 @@ pub enum Lint {
     MissingMustUse,
     /// `std::thread::spawn` outside the execution-runtime crates.
     RawThreadSpawn,
+    /// Iterating `HashMap`/`HashSet` (or `BTreeSet::retain`) where the
+    /// visit order can leak into results.
+    NondeterministicIteration,
+    /// RNG construction not derived from a `SeedSequence` stream.
+    UnseededRng,
+    /// A cycle in the cross-function `Mutex`/`RwLock` acquisition graph.
+    LockOrder,
+    /// A deterministic root whose transitive callees reach a tainted
+    /// sink (clock, env, IO, unseeded RNG, hash-order iteration).
+    TaintedRoot,
 }
 
 /// All lints, in reporting order.
-pub const ALL_LINTS: [Lint; 6] = [
+pub const ALL_LINTS: [Lint; 10] = [
     Lint::BarePhysicalF64,
     Lint::NanUnsafeOrdering,
     Lint::UnwrapInLib,
     Lint::SuspiciousPhysicalLiteral,
     Lint::MissingMustUse,
     Lint::RawThreadSpawn,
+    Lint::NondeterministicIteration,
+    Lint::UnseededRng,
+    Lint::LockOrder,
+    Lint::TaintedRoot,
 ];
 
 /// How serious a finding is. Every non-baselined finding gates the
@@ -64,6 +78,10 @@ impl Lint {
             Lint::SuspiciousPhysicalLiteral => "suspicious-physical-literal",
             Lint::MissingMustUse => "missing-must-use",
             Lint::RawThreadSpawn => "raw-thread-spawn",
+            Lint::NondeterministicIteration => "nondeterministic-iteration",
+            Lint::UnseededRng => "unseeded-rng",
+            Lint::LockOrder => "lock-order",
+            Lint::TaintedRoot => "tainted-root",
         }
     }
 
@@ -71,7 +89,13 @@ impl Lint {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Lint::NanUnsafeOrdering | Lint::UnwrapInLib | Lint::RawThreadSpawn => Severity::Error,
+            Lint::NanUnsafeOrdering
+            | Lint::UnwrapInLib
+            | Lint::RawThreadSpawn
+            | Lint::NondeterministicIteration
+            | Lint::UnseededRng
+            | Lint::LockOrder
+            | Lint::TaintedRoot => Severity::Error,
             Lint::BarePhysicalF64
             | Lint::SuspiciousPhysicalLiteral
             | Lint::MissingMustUse => Severity::Warning,
@@ -100,6 +124,18 @@ impl Lint {
             Lint::RawThreadSpawn => {
                 "thread parallelism must go through selfheal-runtime's deterministic pool, not std::thread::spawn"
             }
+            Lint::NondeterministicIteration => {
+                "HashMap/HashSet iteration order is nondeterministic; use BTreeMap/BTreeSet or sort before use"
+            }
+            Lint::UnseededRng => {
+                "randomness must come from a SeedSequence-derived stream, never thread_rng/from_entropy/OsRng"
+            }
+            Lint::LockOrder => {
+                "Mutex/RwLock acquisition order must be acyclic across the call graph (deadlock hazard)"
+            }
+            Lint::TaintedRoot => {
+                "deterministic roots (kernel, par_map closures, cache-feeding fns) must not transitively reach clock/env/IO/unseeded-RNG sinks"
+            }
         }
     }
 
@@ -123,19 +159,37 @@ pub struct Finding {
     pub message: String,
     /// A short source-derived snippet identifying the construct.
     pub snippet: String,
+    /// For graph findings (`tainted-root`, `lock-order`): the offending
+    /// call path, one `name (file:line)` entry per hop, root first.
+    /// Empty for per-file token lints.
+    pub call_path: Vec<String>,
 }
 
 impl Finding {
+    /// A finding with no call path (the per-file token-lint case).
+    #[must_use]
+    pub fn new(lint: Lint, file: PathBuf, line: u32, message: String, snippet: String) -> Finding {
+        Finding {
+            lint,
+            file,
+            line,
+            message,
+            snippet,
+            call_path: Vec::new(),
+        }
+    }
+
     /// Severity inherited from the lint.
     #[must_use]
     pub fn severity(&self) -> Severity {
         self.lint.severity()
     }
 
-    /// `file:line: severity [lint-id] message` single-line rendering.
+    /// `file:line: severity [lint-id] message` single-line rendering,
+    /// with the call path (when present) appended hop by hop.
     #[must_use]
     pub fn render_text(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: {} [{}] {} ({})",
             self.file.display(),
             self.line,
@@ -143,7 +197,12 @@ impl Finding {
             self.lint.id(),
             self.message,
             self.snippet,
-        )
+        );
+        for hop in &self.call_path {
+            out.push_str("\n    -> ");
+            out.push_str(hop);
+        }
+        out
     }
 }
 
@@ -173,12 +232,16 @@ pub fn json_escape(s: &str) -> String {
 /// ```json
 /// {
 ///   "findings": [{"lint": "...", "severity": "...", "file": "...",
-///                 "line": 1, "message": "...", "snippet": "..."}],
+///                 "line": 1, "message": "...", "snippet": "...",
+///                 "call_path": ["root (f.rs:1)", "sink (g.rs:9)"]}],
 ///   "total": 3,
 ///   "baselined": 2,
 ///   "new": 1
 /// }
 /// ```
+///
+/// `call_path` is `[]` for per-file token lints and lists each hop from
+/// a deterministic root down to the tainted sink for graph findings.
 #[must_use]
 pub fn render_json(findings: &[Finding], baselined: usize) -> String {
     let mut out = String::from("{\n  \"findings\": [");
@@ -186,8 +249,14 @@ pub fn render_json(findings: &[Finding], baselined: usize) -> String {
         if i > 0 {
             out.push(',');
         }
+        let call_path = f
+            .call_path
+            .iter()
+            .map(|hop| format!("\"{}\"", json_escape(hop)))
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "\n    {{\"lint\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            "\n    {{\"lint\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\", \"snippet\": \"{}\", \"call_path\": [{call_path}]}}",
             f.lint.id(),
             f.severity(),
             json_escape(&f.file.display().to_string()),
@@ -228,23 +297,46 @@ mod tests {
 
     #[test]
     fn json_report_is_well_formed_enough_to_eyeball() {
-        let f = Finding {
-            lint: Lint::UnwrapInLib,
-            file: PathBuf::from("crates/core/src/lib.rs"),
-            line: 7,
-            message: "say \"no\" to unwrap".into(),
-            snippet: ".unwrap()".into(),
-        };
+        let f = Finding::new(
+            Lint::UnwrapInLib,
+            PathBuf::from("crates/core/src/lib.rs"),
+            7,
+            "say \"no\" to unwrap".into(),
+            ".unwrap()".into(),
+        );
         let json = render_json(&[f], 0);
         assert!(json.contains("\"lint\": \"unwrap-in-lib\""));
         assert!(json.contains("\"line\": 7"));
         assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"call_path\": []"));
         assert!(json.contains("\"total\": 1"));
         assert!(json.contains("\"new\": 1"));
         // Braces and brackets balance.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn call_paths_render_in_json_and_text() {
+        let mut f = Finding::new(
+            Lint::TaintedRoot,
+            PathBuf::from("crates/core/src/experiment.rs"),
+            12,
+            "root reaches a clock sink".into(),
+            "fn run_chip".into(),
+        );
+        f.call_path = vec![
+            "run_chip (crates/core/src/experiment.rs:12)".into(),
+            "now_ns (crates/telemetry/src/event.rs:170)".into(),
+        ];
+        let json = render_json(&[f.clone()], 0);
+        assert!(json.contains(
+            "\"call_path\": [\"run_chip (crates/core/src/experiment.rs:12)\", \"now_ns (crates/telemetry/src/event.rs:170)\"]"
+        ));
+        let text = f.render_text();
+        assert!(text.contains("-> run_chip"));
+        assert!(text.contains("-> now_ns"));
     }
 
     #[test]

@@ -64,6 +64,26 @@ pub struct Allow {
     pub lints: Vec<String>,
 }
 
+/// A purity-exemption annotation:
+/// `// analyzer: trust(clock): <justification>`.
+///
+/// Attaches to the function whose body contains the comment (or the
+/// next function below it) and strips the listed taint kinds from that
+/// function's *effective* taint — both its own sinks and anything its
+/// callees propagate up. The justification after `):` is mandatory: a
+/// trust without a recorded reason does not parse and therefore does
+/// not exempt anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trust {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Taint kind names listed inside `trust(...)` (`clock`, `env`,
+    /// `io`, `rng`, `hash-iter`).
+    pub kinds: Vec<String>,
+    /// The free-text justification following `):`.
+    pub justification: String,
+}
+
 /// The output of [`lex`]: tokens plus suppression comments.
 #[derive(Debug, Default)]
 pub struct LexedFile {
@@ -71,6 +91,8 @@ pub struct LexedFile {
     pub tokens: Vec<Token>,
     /// All `// analyzer: allow(...)` comments.
     pub allows: Vec<Allow>,
+    /// All `// analyzer: trust(...): ...` comments.
+    pub trusts: Vec<Trust>,
 }
 
 /// Lexes `source` into tokens, recording `analyzer: allow` comments.
@@ -148,6 +170,9 @@ impl Lexer {
         }
         if let Some(allow) = parse_allow(&text, line) {
             self.out.allows.push(allow);
+        }
+        if let Some(trust) = parse_trust(&text, line) {
+            self.out.trusts.push(trust);
         }
     }
 
@@ -409,6 +434,31 @@ fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
     }
 }
 
+/// Parses `// analyzer: trust(clock, env): justification` comment
+/// bodies. Returns `None` when the justification is missing or empty —
+/// an unjustified trust must not silently exempt anything.
+fn parse_trust(comment: &str, line: u32) -> Option<Trust> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("analyzer:")?.trim();
+    let rest = rest.strip_prefix("trust(")?;
+    let (inner, after) = rest.split_once(')')?;
+    let kinds: Vec<String> = inner
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let justification = after.trim().strip_prefix(':')?.trim().to_string();
+    if kinds.is_empty() || justification.is_empty() {
+        None
+    } else {
+        Some(Trust {
+            line,
+            kinds,
+            justification,
+        })
+    }
+}
+
 /// Parses a numeric literal's text (as lexed) into a value, stripping
 /// underscores and any type suffix. Returns `None` for hex/octal.
 #[must_use]
@@ -510,6 +560,31 @@ mod tests {
                 line: 2,
                 lints: vec!["unwrap-in-lib".into(), "bare-physical-f64".into()],
             }]
+        );
+    }
+
+    #[test]
+    fn trust_comments_require_a_justification() {
+        let src = "\
+// analyzer: trust(clock): trace timestamps never feed results\n\
+// analyzer: trust(env)\n\
+// analyzer: trust(io, env): cache reads verify their key\n\
+// analyzer: trust(): empty kinds\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.trusts,
+            vec![
+                Trust {
+                    line: 1,
+                    kinds: vec!["clock".into()],
+                    justification: "trace timestamps never feed results".into(),
+                },
+                Trust {
+                    line: 3,
+                    kinds: vec!["io".into(), "env".into()],
+                    justification: "cache reads verify their key".into(),
+                },
+            ]
         );
     }
 

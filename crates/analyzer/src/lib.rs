@@ -26,16 +26,20 @@
 
 pub mod baseline;
 pub mod findings;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod purity;
 pub mod sig;
 pub mod walk;
 
+use std::collections::BTreeSet;
 use std::io;
 use std::path::Path;
 
 pub use findings::{Finding, Lint, Severity, ALL_LINTS};
 pub use lints::FileContext;
+pub use purity::Dataflow;
 
 /// Analyzes one source file under the given context.
 #[must_use]
@@ -43,20 +47,41 @@ pub fn analyze_source(rel_path: &Path, source: &str, ctx: &FileContext) -> Vec<F
     lints::run_all(rel_path, &lexer::lex(source), ctx)
 }
 
-/// Analyzes every discoverable file in the workspace at `root`.
+/// Analyzes every discoverable file in the workspace at `root`: the
+/// per-file token lints plus the workspace-wide dataflow pass
+/// (`tainted-root`, `lock-order`).
 ///
 /// Findings are sorted by (file, line, lint). Unreadable files are an
 /// error — the gate must never silently skip what it claims to cover.
 pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for item in walk::discover(root)? {
-        let source = std::fs::read_to_string(&item.abs)?;
-        findings.extend(analyze_source(&item.rel, &source, &item.ctx));
-    }
+    let (mut findings, flow) = analyze_workspace_full(root)?;
+    findings.extend(flow.findings.iter().cloned());
     findings.sort_by(|a, b| {
         (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint))
     });
     Ok(findings)
+}
+
+/// Runs the workspace-wide dataflow pass alone (call graph + purity).
+pub fn workspace_dataflow(root: &Path) -> io::Result<Dataflow> {
+    Ok(analyze_workspace_full(root)?.1)
+}
+
+/// One walk over the workspace producing both the per-file findings
+/// (unsorted) and the completed dataflow pass.
+fn analyze_workspace_full(root: &Path) -> io::Result<(Vec<Finding>, Dataflow)> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    let mut crates = BTreeSet::new();
+    for item in walk::discover(root)? {
+        let source = std::fs::read_to_string(&item.abs)?;
+        let lexed = lexer::lex(&source);
+        findings.extend(lints::run_all(&item.rel, &lexed, &item.ctx));
+        crates.insert(item.ctx.crate_name.clone());
+        files.push(graph::extract_file(&item.rel, &lexed, &item.ctx));
+    }
+    let flow = purity::analyze(graph::build(&files, &crates));
+    Ok((findings, flow))
 }
 
 /// Crate version, for `--version` style output.

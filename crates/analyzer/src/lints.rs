@@ -113,9 +113,13 @@ pub fn run_all(path: &Path, lexed: &LexedFile, ctx: &FileContext) -> Vec<Finding
     if non_test_code {
         findings.extend(nan_unsafe_ordering(path, tokens, &mask));
         findings.extend(suspicious_physical_literal(path, tokens, &mask));
+        findings.extend(unseeded_rng(path, tokens, &mask));
         if !THREAD_SPAWN_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
             findings.extend(raw_thread_spawn(path, tokens, &mask));
         }
+    }
+    if ctx.is_lib {
+        findings.extend(nondeterministic_iteration(path, tokens, &mask));
     }
     if ctx.is_lib {
         let sigs = parse_pub_fns(tokens, &mask);
@@ -169,6 +173,7 @@ fn bare_physical_f64(path: &Path, sigs: &[FnSig]) -> Vec<Finding> {
                         param.name, sig.name, needle, suggestion
                     ),
                     snippet: format!("{}: f64", param.name),
+                    call_path: Vec::new(),
                 });
             }
         }
@@ -183,6 +188,7 @@ fn bare_physical_f64(path: &Path, sigs: &[FnSig]) -> Vec<Finding> {
                         sig.name, needle, suggestion
                     ),
                     snippet: format!("fn {} -> f64", sig.name),
+                    call_path: Vec::new(),
                 });
             }
         }
@@ -211,6 +217,7 @@ fn bare_physical_f64_fields(path: &Path, fields: &[StructField]) -> Vec<Finding>
                     field.name, field.struct_name, needle, suggestion
                 ),
                 snippet: format!("{}: {container}", field.name),
+                call_path: Vec::new(),
             });
         }
     }
@@ -256,6 +263,7 @@ fn nan_unsafe_ordering(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Find
                 line: t.line,
                 message,
                 snippet: followup,
+                call_path: Vec::new(),
             });
         }
         // Bare `f64::max` / `f64::min` function references (fold/reduce
@@ -280,6 +288,7 @@ fn nan_unsafe_ordering(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Find
                     t.text,
                 ),
                 snippet: format!("{}::{which}", t.text),
+                call_path: Vec::new(),
             });
         }
     }
@@ -344,6 +353,7 @@ fn unwrap_in_lib(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
                     ".{method}() in library code turns data bugs into panics; return Result/Option, pattern-match, or document the invariant with an explicit panic!",
                 ),
                 snippet: format!(".{method}()"),
+                call_path: Vec::new(),
             });
         }
     }
@@ -397,6 +407,7 @@ fn raw_thread_spawn(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding
                 line: t.line,
                 message: "std::thread::spawn bypasses the deterministic work-stealing pool (seed splitting, span draining, panic isolation); use selfheal_runtime::par_map or Pool".to_string(),
                 snippet: "thread::spawn".to_string(),
+                call_path: Vec::new(),
             });
         }
     }
@@ -459,10 +470,188 @@ fn suspicious_physical_literal(path: &Path, tokens: &[Token], mask: &[bool]) -> 
                     "{unit}::new({value}) lies outside the plausible silicon range [{lo}, {hi}] {sym}; check units and intent",
                 ),
                 snippet: format!("{unit}::new({value})"),
+                call_path: Vec::new(),
             });
         }
     }
     out
+}
+
+/// RNG constructors that seed from the environment instead of a
+/// `SeedSequence` stream — each silently breaks reproducibility.
+const UNSEEDED_RNG_CONSTRUCTORS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+
+/// Lint: RNG construction not derived from a `SeedSequence`.
+///
+/// Flags `thread_rng()`, `SeedableRng::from_entropy`, `OsRng` and
+/// `rand::random` in non-test code. Seeded construction
+/// (`SeedSequence::rng`, `seed_from_u64`) is the sanctioned path.
+fn unseeded_rng(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let flagged = if UNSEEDED_RNG_CONSTRUCTORS.iter().any(|c| t.is_ident(c)) {
+            Some(t.text.clone())
+        } else if t.is_ident("random")
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].is_ident("rand")
+        {
+            Some("rand::random".to_string())
+        } else {
+            None
+        };
+        if let Some(snippet) = flagged {
+            out.push(Finding {
+                lint: Lint::UnseededRng,
+                file: path.to_path_buf(),
+                line: t.line,
+                message: format!(
+                    "`{snippet}` draws entropy outside the SeedSequence contract; derive a per-item StdRng from SeedSequence::rng instead",
+                ),
+                snippet,
+                call_path: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Methods whose visit order leaks hash-table layout into results.
+const HASH_ORDER_METHODS: [&str; 6] = ["iter", "keys", "values", "into_iter", "drain", "retain"];
+
+/// Lint: iteration over `HashMap`/`HashSet` bindings (any order-exposed
+/// method or a `for` loop), plus `BTreeSet::retain` (order-dependent
+/// mutation during the sweep), in library code.
+fn nondeterministic_iteration(path: &Path, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    // Pass 1: collect idents bound or typed as hash collections
+    // (`x: HashMap<..>`, `let [mut] x = HashMap::new()`), and the same
+    // for BTreeSet (whose only flagged method is `retain`).
+    let mut hash_bound = Vec::new();
+    let mut btree_set_bound = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let is_hash = t.is_ident("HashMap") || t.is_ident("HashSet");
+        let is_btree_set = t.is_ident("BTreeSet");
+        if !(is_hash || is_btree_set) {
+            continue;
+        }
+        // Walk back over `&`, `mut` and lifetimes so `x: &mut HashMap`
+        // still reaches the `:`.
+        let mut k = i;
+        while k > 0
+            && (tokens[k - 1].is_punct('&')
+                || tokens[k - 1].is_ident("mut")
+                || tokens[k - 1].kind == TokenKind::Lifetime)
+        {
+            k -= 1;
+        }
+        let bound = if k >= 2 && tokens[k - 1].is_punct(':') && !tokens[k - 2].is_punct(':') {
+            // `name : [&mut] HashMap` type ascription (param, field, let).
+            (tokens[k - 2].kind == TokenKind::Ident).then(|| tokens[k - 2].text.clone())
+        } else if k >= 2 && tokens[k - 1].is_punct('=') {
+            // `let [mut] name = HashMap::...`.
+            (tokens[k - 2].kind == TokenKind::Ident).then(|| tokens[k - 2].text.clone())
+        } else {
+            None
+        };
+        if let Some(name) = bound {
+            if is_hash {
+                hash_bound.push(name);
+            } else {
+                btree_set_bound.push(name);
+            }
+        }
+    }
+    if hash_bound.is_empty() && btree_set_bound.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 2: flag order-exposing uses of those bindings.
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask.get(i).copied().unwrap_or(false) || t.kind != TokenKind::Ident {
+            continue;
+        }
+        let is_hash = hash_bound.iter().any(|n| n == &t.text);
+        let is_bset = btree_set_bound.iter().any(|n| n == &t.text);
+        if !(is_hash || is_bset) {
+            continue;
+        }
+        // `name . method (` where method exposes order.
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            let method = &tokens[i + 2];
+            let order_exposed = if is_hash {
+                HASH_ORDER_METHODS.iter().any(|m| method.is_ident(m))
+            } else {
+                method.is_ident("retain")
+            };
+            if order_exposed {
+                out.push(Finding {
+                    lint: Lint::NondeterministicIteration,
+                    file: path.to_path_buf(),
+                    line: t.line,
+                    message: if is_hash {
+                        format!(
+                            "`{}.{}()` visits hash-table order, which varies per process; use BTreeMap/BTreeSet or collect-and-sort first",
+                            t.text, method.text,
+                        )
+                    } else {
+                        format!(
+                            "`{}.retain()` mutates the set during an order-dependent sweep; filter into a fresh BTreeSet instead",
+                            t.text,
+                        )
+                    },
+                    snippet: format!("{}.{}()", t.text, method.text),
+                    call_path: Vec::new(),
+                });
+            }
+            continue;
+        }
+        // `for x in [&[mut]] name` — direct iteration.
+        if is_hash {
+            let mut k = i;
+            // Walk back over `&` / `mut`.
+            while k > 0 && (tokens[k - 1].is_punct('&') || tokens[k - 1].is_ident("mut")) {
+                k -= 1;
+            }
+            if k > 0 && tokens[k - 1].is_ident("in") && k > 1 && tokens_contain_for(tokens, k - 1) {
+                out.push(Finding {
+                    lint: Lint::NondeterministicIteration,
+                    file: path.to_path_buf(),
+                    line: t.line,
+                    message: format!(
+                        "`for .. in {}` visits hash-table order, which varies per process; use BTreeMap/BTreeSet or collect-and-sort first",
+                        t.text,
+                    ),
+                    snippet: format!("for .. in {}", t.text),
+                    call_path: Vec::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True when the `in` at index `at` belongs to a `for` loop (a `for`
+/// ident appears before it with only a pattern in between — approximated
+/// by looking back a bounded window with no `;`/`{`/`}`).
+fn tokens_contain_for(tokens: &[Token], at: usize) -> bool {
+    let lo = at.saturating_sub(12);
+    for k in (lo..at).rev() {
+        let t = &tokens[k];
+        if t.is_ident("for") {
+            return true;
+        }
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return false;
+        }
+    }
+    false
 }
 
 /// Lint: pure unit-returning accessors missing `#[must_use]`.
@@ -492,6 +681,7 @@ fn missing_must_use(path: &Path, sigs: &[FnSig]) -> Vec<Finding> {
                 sig.name
             ),
             snippet: format!("fn {}(..) -> {ret}", sig.name),
+            call_path: Vec::new(),
         });
     }
     out
@@ -684,5 +874,61 @@ mod tests {
     fn test_targets_skip_ordering_and_literal_lints() {
         let src = "fn f(v: &[f64]) -> f64 { v.iter().copied().fold(f64::MIN, f64::max) }";
         assert!(run(src, &FileContext::test_target("selfheal-repro")).is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_constructors_are_flagged() {
+        let src = "fn f() -> f64 { let mut r = rand::thread_rng(); r.gen() }";
+        assert_eq!(
+            lint_ids(&run(src, &FileContext::lib("selfheal-bti"))),
+            vec!["unseeded-rng"]
+        );
+        let entropy = "fn f() { let r = StdRng::from_entropy(); }";
+        assert_eq!(
+            lint_ids(&run(entropy, &FileContext::example("selfheal"))),
+            vec!["unseeded-rng"]
+        );
+    }
+
+    #[test]
+    fn seeded_rng_is_clean_and_tests_may_use_entropy() {
+        let seeded = "fn f(seeds: &SeedSequence) { let r = seeds.rng(3); let s = StdRng::seed_from_u64(9); }";
+        assert!(run(seeded, &FileContext::lib("selfheal-bti")).is_empty());
+        let test_src = "#[cfg(test)] mod tests { fn f() { let r = rand::thread_rng(); } }";
+        assert!(run(test_src, &FileContext::lib("selfheal-bti")).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_in_lib_code() {
+        let src = "fn f(m: HashMap<String, f64>) -> Vec<f64> { m.values().copied().collect() }";
+        assert_eq!(
+            lint_ids(&run(src, &FileContext::lib("selfheal"))),
+            vec!["nondeterministic-iteration"]
+        );
+        let for_loop = "fn f() { let mut s = HashSet::new(); for x in &s { use_it(x); } }";
+        assert_eq!(
+            lint_ids(&run(for_loop, &FileContext::lib("selfheal"))),
+            vec!["nondeterministic-iteration"]
+        );
+    }
+
+    #[test]
+    fn btree_collections_are_clean_except_set_retain() {
+        let clean = "fn f(m: BTreeMap<String, f64>) -> Vec<f64> { m.values().copied().collect() }";
+        assert!(run(clean, &FileContext::lib("selfheal")).is_empty());
+        let retain = "fn f(s: &mut BTreeSet<u64>) { s.retain(|x| x % 2 == 0); }";
+        assert_eq!(
+            lint_ids(&run(retain, &FileContext::lib("selfheal"))),
+            vec!["nondeterministic-iteration"]
+        );
+        // BTreeSet iteration is sorted — not flagged.
+        let iter = "fn f(s: &BTreeSet<u64>) -> Vec<u64> { s.iter().copied().collect() }";
+        assert!(run(iter, &FileContext::lib("selfheal")).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_ignored_outside_lib_code() {
+        let src = "fn f(m: HashMap<String, f64>) -> Vec<f64> { m.values().copied().collect() }";
+        assert!(run(src, &FileContext::example("selfheal")).is_empty());
     }
 }

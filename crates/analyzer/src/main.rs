@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! selfheal-analyzer check [--json] [--baseline <file>] [--update-baseline] [--root <dir>]
+//! selfheal-analyzer graph [--root <dir>]
 //! selfheal-analyzer lints
 //! ```
 //!
@@ -11,13 +12,14 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use selfheal_analyzer::{analyze_workspace, baseline, findings, walk, ALL_LINTS};
+use selfheal_analyzer::{analyze_workspace, baseline, findings, purity, walk, ALL_LINTS};
 
 const USAGE: &str = "\
 selfheal-analyzer — domain-aware static analysis for the self-healing workspace
 
 USAGE:
     selfheal-analyzer check [--json] [--baseline <file>] [--update-baseline] [--root <dir>]
+    selfheal-analyzer graph [--root <dir>]
     selfheal-analyzer lints
     selfheal-analyzer --version
 
@@ -26,6 +28,10 @@ OPTIONS:
     --baseline <file>    ratchet file (default: <root>/analyzer-baseline.txt)
     --update-baseline    rewrite the baseline to match current findings
     --root <dir>         workspace root (default: walk up from cwd)
+
+`graph` dumps the workspace call graph with per-function purity labels
+(deterministic / seeded-rng / env-tainted / clock-tainted / io-tainted)
+as JSON on stdout.
 ";
 
 struct Options {
@@ -66,6 +72,19 @@ fn main() -> ExitCode {
             }
             check(&opts)
         }
+        "graph" | "--graph" => {
+            let mut root = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => match args.next() {
+                        Some(path) => root = Some(PathBuf::from(path)),
+                        None => return usage_error("--root needs a directory argument"),
+                    },
+                    other => return usage_error(&format!("unknown option `{other}`")),
+                }
+            }
+            graph_dump(root)
+        }
         "lints" => {
             for lint in ALL_LINTS {
                 println!("{:<28} {:<8} {}", lint.id(), lint.severity().to_string(), lint.describe());
@@ -88,6 +107,37 @@ fn usage_error(message: &str) -> ExitCode {
     eprintln!("error: {message}\n");
     eprint!("{USAGE}");
     ExitCode::from(2)
+}
+
+/// Resolves the workspace root like `check` does.
+fn resolve_root(root: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    match root {
+        Some(root) => Ok(root),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            walk::find_workspace_root(&cwd).ok_or_else(|| {
+                eprintln!("error: no workspace root found above {}", cwd.display());
+                ExitCode::from(2)
+            })
+        }
+    }
+}
+
+fn graph_dump(root: Option<PathBuf>) -> ExitCode {
+    let root = match resolve_root(root) {
+        Ok(root) => root,
+        Err(code) => return code,
+    };
+    match selfheal_analyzer::workspace_dataflow(&root) {
+        Ok(flow) => {
+            print!("{}", purity::render_graph_json(&flow));
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: failed to analyze workspace: {err}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn check(opts: &Options) -> ExitCode {

@@ -70,7 +70,7 @@ fn read_attr(tokens: &[Token], open: usize) -> (Vec<String>, usize) {
 /// Finds the end (exclusive token index) of the item starting at `start`:
 /// either just past the `;` of a declaration or just past the matching
 /// `}` of its body.
-fn item_end(tokens: &[Token], start: usize) -> usize {
+pub(crate) fn item_end(tokens: &[Token], start: usize) -> usize {
     let mut i = start;
     // Find the first `{` or `;` at angle/paren depth irrelevant — a `;`
     // before any `{` means a body-less item.
@@ -96,6 +96,236 @@ fn item_end(tokens: &[Token], start: usize) -> usize {
         i += 1;
     }
     tokens.len()
+}
+
+/// One `fn` item of any visibility, with its body token range — the
+/// unit the call-graph pass works over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedFn {
+    /// The bare function name.
+    pub name: String,
+    /// `Type::name` inside `impl`/`trait` blocks (the `for` type of a
+    /// trait impl), else the bare name.
+    pub qualified: String,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+    /// Last source line covered by the item (closing brace or `;`).
+    pub end_line: u32,
+    /// Token index of the body's `{` (== `body_end` for declarations).
+    pub body_start: usize,
+    /// Exclusive token index just past the body's `}` (or the `;`).
+    pub body_end: usize,
+    /// True when the fn lies inside a `#[cfg(test)]` region.
+    pub in_test_region: bool,
+}
+
+/// Parses every `fn` item — any visibility — recording qualified names
+/// (`Type::method` inside `impl Type` / `impl Trait for Type` / `trait
+/// Type` blocks) and body token ranges for the call-graph pass.
+#[must_use]
+pub fn parse_all_fns(tokens: &[Token], test_mask: &[bool]) -> Vec<ParsedFn> {
+    let qualifiers = qualifier_regions(tokens);
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_ident("fn")
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident))
+        {
+            i += 1;
+            continue;
+        }
+        let fn_idx = i;
+        let name = tokens[i + 1].text.clone();
+        // Locate the body opener: first `{` before any `;` (a `;` first
+        // means a body-less trait/extern declaration).
+        let end = item_end(tokens, fn_idx);
+        let mut body_start = fn_idx;
+        while body_start < end {
+            if tokens[body_start].is_punct('{') {
+                break;
+            }
+            body_start += 1;
+        }
+        // The innermost qualifier region containing this fn names it.
+        let qualified = qualifiers
+            .iter()
+            .filter(|(start, qend, _)| *start <= fn_idx && fn_idx < *qend)
+            .max_by_key(|(start, ..)| *start)
+            .map_or_else(|| name.clone(), |(_, _, ty)| format!("{ty}::{name}"));
+        fns.push(ParsedFn {
+            name,
+            qualified,
+            line: tokens[fn_idx].line,
+            end_line: tokens.get(end.saturating_sub(1)).map_or(0, |t| t.line),
+            body_start: body_start.min(end),
+            body_end: end,
+            in_test_region: test_mask.get(fn_idx).copied().unwrap_or(false),
+        });
+        // Continue *inside* the item so nested fns are found too.
+        i = fn_idx + 2;
+    }
+    fns
+}
+
+/// Finds `impl`/`trait` regions: `(body_start_token, body_end_token,
+/// type_name)` triples. For `impl Trait for Type` the name is `Type`.
+fn qualifier_regions(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_impl = tokens[i].is_ident("impl");
+        let is_trait = tokens[i].is_ident("trait");
+        if !(is_impl || is_trait) {
+            i += 1;
+            continue;
+        }
+        // Scan the header up to the body `{` (angle-depth aware so
+        // `impl<T: Fn() -> X>` generics do not end the header early).
+        let mut angle = 0i32;
+        let mut j = i + 1;
+        let mut header_end = None;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && angle > 0 {
+                if !tokens.get(j - 1).is_some_and(|p| p.is_punct('-')) {
+                    angle -= 1;
+                }
+            } else if angle == 0 && (t.is_punct('{') || t.is_punct(';')) {
+                header_end = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = header_end else { break };
+        if tokens[open].is_punct(';') {
+            // `impl Trait for Type;` has no body; nothing to qualify.
+            i = open + 1;
+            continue;
+        }
+        // The qualifying type: last angle-depth-0 ident before `{` (or
+        // before `where`), taken from after `for` when present.
+        let header = &tokens[i + 1..open];
+        let mut name = None;
+        let mut depth = 0i32;
+        for (h, t) in header.iter().enumerate() {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>')
+                && depth > 0
+                && !(h > 0 && header[h - 1].is_punct('-'))
+            {
+                depth -= 1;
+            } else if depth == 0 && t.is_ident("where") {
+                break;
+            } else if depth == 0 && t.is_ident("for") {
+                name = None; // restart after `for`: the impl'd-on type wins
+            } else if depth == 0 && t.kind == TokenKind::Ident && t.text != "dyn" {
+                name = Some(t.text.clone());
+            }
+        }
+        let end = item_end(tokens, open);
+        if let Some(name) = name {
+            regions.push((open, end, name));
+        }
+        // Step inside the body: nested impls (rare) still register.
+        i = open + 1;
+    }
+    regions
+}
+
+/// One resolved local binding from a `use` declaration: the in-file
+/// name (`telemetry`, `Pool`, an `as` alias) and the first path segment
+/// it came from (`selfheal_telemetry`, `crate`, `std`, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseBinding {
+    /// The name usable in this file.
+    pub local: String,
+    /// The first segment of the `use` path (crate determiner).
+    pub root: String,
+}
+
+/// Parses every `use` declaration into local-name → path-root bindings,
+/// including brace groups, `as` aliases, and `self` leaves
+/// (`use selfheal_telemetry::{self as telemetry, json::Json}` yields
+/// `telemetry → selfheal_telemetry` and `Json → selfheal_telemetry`).
+#[must_use]
+pub fn parse_use_decls(tokens: &[Token]) -> Vec<UseBinding> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("use") {
+            i += 1;
+            continue;
+        }
+        // Collect this declaration's tokens up to the `;`.
+        let mut end = i + 1;
+        let mut depth = 0i32;
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct(';') && depth <= 0 {
+                break;
+            }
+            end += 1;
+        }
+        let decl = &tokens[i + 1..end.min(tokens.len())];
+        let root = decl
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone());
+        if let Some(root) = root {
+            collect_use_leaves(decl, &root, &mut out);
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// Walks a `use` declaration's tokens emitting leaf bindings.
+fn collect_use_leaves(decl: &[Token], root: &str, out: &mut Vec<UseBinding>) {
+    let mut k = 0;
+    while k < decl.len() {
+        let t = &decl[k];
+        if t.kind != TokenKind::Ident || t.is_ident("use") || t.is_ident("as") {
+            k += 1;
+            continue;
+        }
+        let next = decl.get(k + 1);
+        let next2 = decl.get(k + 2);
+        // A segment continued by `::` is not a leaf.
+        if next.is_some_and(|n| n.is_punct(':')) && next2.is_some_and(|n| n.is_punct(':')) {
+            k += 1;
+            continue;
+        }
+        // `ident as alias` — the alias is the local name.
+        if next.is_some_and(|n| n.is_ident("as")) {
+            if let Some(alias) = next2.filter(|a| a.kind == TokenKind::Ident) {
+                out.push(UseBinding {
+                    local: alias.text.clone(),
+                    root: root.to_string(),
+                });
+            }
+            k += 3;
+            continue;
+        }
+        // Plain leaf: `ident` followed by `,`, `}` or end-of-decl. A
+        // bare `self` leaf binds the root segment itself.
+        let local = if t.is_ident("self") {
+            root.to_string()
+        } else {
+            t.text.clone()
+        };
+        out.push(UseBinding {
+            local,
+            root: root.to_string(),
+        });
+        k += 1;
+    }
 }
 
 /// How a method binds `self`.
@@ -737,6 +967,98 @@ mod tests {
         let f = fields("pub struct S { pub alpha: f64 }");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].ty, "f64");
+    }
+
+    fn all_fns(src: &str) -> Vec<ParsedFn> {
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        parse_all_fns(&lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn all_fns_records_private_and_qualified_names() {
+        let src = r"
+            fn free_helper() {}
+            impl Pool {
+                pub fn par_map(&self) {}
+                fn worker_loop() {}
+            }
+            impl fmt::Display for Severity {
+                fn fmt(&self) {}
+            }
+            trait Sink {
+                fn flush(&self) {}
+            }
+        ";
+        let f = all_fns(src);
+        let quals: Vec<&str> = f.iter().map(|x| x.qualified.as_str()).collect();
+        assert_eq!(
+            quals,
+            vec![
+                "free_helper",
+                "Pool::par_map",
+                "Pool::worker_loop",
+                "Severity::fmt",
+                "Sink::flush",
+            ]
+        );
+    }
+
+    #[test]
+    fn all_fns_body_ranges_cover_the_braces() {
+        let src = "fn a() { inner(); }\nfn b();";
+        let f = all_fns(src);
+        assert_eq!(f.len(), 2);
+        let lexed = lex(src);
+        assert!(lexed.tokens[f[0].body_start].is_punct('{'));
+        assert!(lexed.tokens[f[0].body_end - 1].is_punct('}'));
+        // Declarations have an empty body range.
+        assert_eq!(f[1].body_start, f[1].body_end);
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].end_line, 1);
+    }
+
+    #[test]
+    fn all_fns_generic_impl_for_type_uses_the_for_type() {
+        let src = "impl<S: Strategy, F: Fn(S::Value) -> U> Strategy for Map<S, F> { fn generate(&self) {} }";
+        let f = all_fns(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].qualified, "Map::generate");
+    }
+
+    #[test]
+    fn all_fns_marks_test_regions() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }";
+        let f = all_fns(src);
+        assert!(!f[0].in_test_region);
+        assert!(f[1].in_test_region);
+    }
+
+    #[test]
+    fn use_decls_bind_leaves_aliases_and_self() {
+        let src = r"
+            use selfheal_telemetry::{self as telemetry, json::Json, manifest::fnv1a};
+            use selfheal_runtime::{Pool, SeedSequence};
+            use selfheal_bti as bti;
+            use std::time::Instant;
+        ";
+        let got = parse_use_decls(&lex(src).tokens);
+        let pairs: Vec<(&str, &str)> = got
+            .iter()
+            .map(|b| (b.local.as_str(), b.root.as_str()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("telemetry", "selfheal_telemetry"),
+                ("Json", "selfheal_telemetry"),
+                ("fnv1a", "selfheal_telemetry"),
+                ("Pool", "selfheal_runtime"),
+                ("SeedSequence", "selfheal_runtime"),
+                ("bti", "selfheal_bti"),
+                ("Instant", "std"),
+            ]
+        );
     }
 
     #[test]

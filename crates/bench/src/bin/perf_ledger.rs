@@ -9,7 +9,12 @@
 //! perf_ledger --repeats 5 -- target/release/trap_kernel --json
 //! perf_ledger --manifest run1.json --manifest run2.json --manifest run3.json
 //! perf_ledger --keys soa_ns_per_trap_10000 --repeats 3 -- target/release/trap_kernel --json
+//! perf_ledger --prune [--keep 50]            # cap every history file
 //! ```
+//!
+//! `--prune` caps every `bench_history/*.jsonl` at the `--keep`
+//! most-recent entries *per config hash* — history stays bounded without
+//! ever evicting a live config's baseline window.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -25,10 +30,13 @@ struct Args {
     keys: Option<Vec<String>>,
     manifests: Vec<PathBuf>,
     command: Vec<String>,
+    prune: bool,
+    keep: usize,
 }
 
 const USAGE: &str = "usage: perf_ledger [--history <dir>] [--repeats <n>] [--keys k1,k2] \
-                     (--manifest <path>... | -- <benchmark command printing --json>)";
+                     (--manifest <path>... | -- <benchmark command printing --json>)\n\
+                     \x20      perf_ledger [--history <dir>] --prune [--keep <n>]";
 
 fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
@@ -37,6 +45,8 @@ fn parse_args() -> Result<Args, String> {
         keys: None,
         manifests: Vec::new(),
         command: Vec::new(),
+        prune: false,
+        keep: 50,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +70,14 @@ fn parse_args() -> Result<Args, String> {
                     .manifests
                     .push(args.next().map(PathBuf::from).ok_or("--manifest needs a path")?);
             }
+            "--prune" => parsed.prune = true,
+            "--keep" => {
+                parsed.keep = args
+                    .next()
+                    .and_then(|raw| raw.parse().ok())
+                    .filter(|n| *n > 0)
+                    .ok_or("--keep needs a positive count")?;
+            }
             "--" => {
                 parsed.command = args.collect();
                 break;
@@ -68,7 +86,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
         }
     }
-    if parsed.manifests.is_empty() == parsed.command.is_empty() {
+    if parsed.prune {
+        if !parsed.manifests.is_empty() || !parsed.command.is_empty() {
+            return Err(format!("--prune takes no manifests or command\n{USAGE}"));
+        }
+    } else if parsed.manifests.is_empty() == parsed.command.is_empty() {
         return Err(format!(
             "pass either --manifest files or a benchmark command after --\n{USAGE}"
         ));
@@ -76,8 +98,46 @@ fn parse_args() -> Result<Args, String> {
     Ok(parsed)
 }
 
+/// Caps every `<history>/*.jsonl` at `keep` entries per config hash.
+fn prune_all(history: &PathBuf, keep: usize) -> Result<(), String> {
+    let entries = match std::fs::read_dir(history) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            println!("perf_ledger: {} does not exist, nothing to prune", history.display());
+            return Ok(());
+        }
+        Err(err) => return Err(format!("{}: {err}", history.display())),
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| {
+            let path = e.path();
+            (path.extension().is_some_and(|x| x == "jsonl"))
+                .then(|| path.file_stem()?.to_str().map(ToString::to_string))
+                .flatten()
+        })
+        .collect();
+    names.sort();
+    let mut total = 0usize;
+    for name in &names {
+        let dropped = ledger::prune(history, name, keep).map_err(|err| format!("{name}: {err}"))?;
+        if dropped > 0 {
+            println!("perf_ledger: pruned {dropped} entry(ies) from {name}.jsonl");
+        }
+        total += dropped;
+    }
+    println!(
+        "perf_ledger: prune done — {total} entry(ies) dropped across {} file(s) (keep={keep} per config)",
+        names.len()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    if args.prune {
+        return prune_all(&args.history, args.keep);
+    }
     let manifests: Vec<json::Json> = if args.command.is_empty() {
         args.manifests
             .iter()

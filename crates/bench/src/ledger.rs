@@ -231,6 +231,54 @@ pub fn load(dir: &Path, name: &str) -> io::Result<Vec<LedgerEntry>> {
     Ok(entries)
 }
 
+/// Caps a benchmark's history at the `keep` most-recent entries *per
+/// config hash*, preserving file order. Bounded history keeps clone
+/// sizes sane without losing any config's baseline window (pruning the
+/// file globally would let one chatty config evict another's history).
+/// The rewrite goes through a sibling temp file + rename so a crash
+/// cannot leave a half-written ledger. Returns how many entries were
+/// dropped; a missing file prunes zero.
+///
+/// # Errors
+///
+/// Propagates read/parse errors from [`load`] and write/rename errors.
+pub fn prune(dir: &Path, name: &str, keep: usize) -> io::Result<usize> {
+    let entries = load(dir, name)?;
+    if entries.is_empty() {
+        return Ok(0);
+    }
+    // Count entries per config hash, then keep only each entry whose
+    // position is within the last `keep` of its config.
+    let mut remaining: BTreeMap<&str, usize> = BTreeMap::new();
+    for entry in &entries {
+        *remaining.entry(entry.config_hash.as_str()).or_insert(0) += 1;
+    }
+    let mut kept = Vec::with_capacity(entries.len());
+    for entry in &entries {
+        let left = remaining
+            .get_mut(entry.config_hash.as_str())
+            .expect("counted above");
+        if *left <= keep {
+            kept.push(entry);
+        }
+        *left -= 1;
+    }
+    let dropped = entries.len() - kept.len();
+    if dropped == 0 {
+        return Ok(0);
+    }
+    let path = history_path(dir, name);
+    let tmp = path.with_extension("jsonl.tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        for entry in &kept {
+            writeln!(file, "{}", entry.to_json().render())?;
+        }
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(dropped)
+}
+
 /// Gate tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct GateConfig {
@@ -506,6 +554,40 @@ mod tests {
         // …but not a real regression.
         let bad = gate(&history, &entry("c1", &[("ms", 120.0, 0.0)]), &config);
         assert!(bad[0].regressed);
+    }
+
+    #[test]
+    fn prune_keeps_the_last_n_per_config_hash() {
+        let dir = std::env::temp_dir().join(format!(
+            "selfheal-ledger-prune-test-{}",
+            selfheal_telemetry::current_thread_hash()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        // Interleave two configs: 4 entries of c1, 2 of c2.
+        for (i, config) in [(1, "c1"), (2, "c1"), (3, "c2"), (4, "c1"), (5, "c2"), (6, "c1")] {
+            append(&dir, &entry(config, &[("ms", f64::from(i), 0.0)])).expect("test value");
+        }
+        let dropped = prune(&dir, "bench", 2).expect("test value");
+        assert_eq!(dropped, 2);
+        let left = load(&dir, "bench").expect("test value");
+        // Last 2 of c1 (4, 6) and both of c2 (3, 5), file order intact.
+        let medians: Vec<(String, f64)> = left
+            .iter()
+            .map(|e| (e.config_hash.clone(), e.keys["ms"].median))
+            .collect();
+        assert_eq!(
+            medians,
+            vec![
+                ("c2".to_string(), 3.0),
+                ("c1".to_string(), 4.0),
+                ("c2".to_string(), 5.0),
+                ("c1".to_string(), 6.0),
+            ]
+        );
+        // Already within budget: nothing dropped, file untouched.
+        assert_eq!(prune(&dir, "bench", 2).expect("test value"), 0);
+        assert_eq!(prune(&dir, "missing", 2).expect("test value"), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -90,6 +90,8 @@ pub fn set_global_threads(threads: usize) {
 /// and parseable, else available parallelism (capped at 8).
 #[must_use]
 pub fn default_threads() -> usize {
+    // analyzer: trust(env): the worker count cannot change results — the
+    // pool pins chunk->seed assignment, so par output == serial output.
     if let Ok(raw) = std::env::var(THREADS_ENV_VAR) {
         if let Ok(n) = raw.trim().parse::<usize>() {
             return n;

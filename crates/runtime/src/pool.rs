@@ -362,6 +362,7 @@ impl Pool {
         let jobs = total.div_ceil(chunk_size);
         let batch: Arc<Batch<R>> = Arc::new(Batch::new(jobs));
         let f = Arc::new(f);
+        let events_on = telemetry::events_enabled();
 
         let mut items = items.into_iter();
         let mut start = 0usize;
@@ -373,7 +374,18 @@ impl Pool {
             let batch = Arc::clone(&batch);
             let f = Arc::clone(&f);
             let chunk_start = start;
+            // Async-flow arrow from this enqueue to wherever the job
+            // executes: `s` here on the submitting thread, `f` on the
+            // worker that picks it up (trace exports draw the arrow).
+            let flow = events_on.then(|| {
+                let id = telemetry::next_flow_id();
+                telemetry::emit_flow_start("runtime.pool.job", id);
+                id
+            });
             let job: Job = Box::new(move || {
+                if let Some(id) = flow {
+                    telemetry::emit_flow_end("runtime.pool.job", id);
+                }
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(chunk_start, chunk)));
                 match outcome {
                     Ok(results) => batch

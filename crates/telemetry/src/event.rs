@@ -78,6 +78,14 @@ pub enum EventKind {
     /// A sampled counter value (`trace_counter!`) — rendered as a counter
     /// track by the Chrome trace sink, one JSONL line elsewhere.
     Counter,
+    /// The producing end of an async flow (`ph: "s"` in trace exports):
+    /// marks where work was enqueued. Carries a `flow_id` field pairing
+    /// it with its [`EventKind::FlowEnd`].
+    FlowStart,
+    /// The consuming end of an async flow (`ph: "f"`): marks where the
+    /// enqueued work actually ran, possibly on another thread. Trace
+    /// viewers draw an arrow from the matching [`EventKind::FlowStart`].
+    FlowEnd,
 }
 
 impl EventKind {
@@ -89,6 +97,8 @@ impl EventKind {
             EventKind::SpanStart => "span_start",
             EventKind::SpanEnd => "span_end",
             EventKind::Counter => "counter",
+            EventKind::FlowStart => "flow_start",
+            EventKind::FlowEnd => "flow_end",
         }
     }
 }
@@ -169,6 +179,8 @@ static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
 /// the first caller anchors the epoch at zero.
 #[must_use]
 pub fn trace_epoch_ns() -> u64 {
+    // analyzer: trust(clock): trace timestamps are observability-only —
+    // they label events and spans but never flow into computed results.
     let epoch = TRACE_EPOCH.get_or_init(Instant::now);
     u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }

@@ -124,6 +124,45 @@ pub fn emit_counter(name: &str, value: f64) {
     });
 }
 
+/// Allocates a process-unique id pairing one [`emit_flow_start`] with
+/// its [`emit_flow_end`].
+#[must_use]
+pub fn next_flow_id() -> u64 {
+    static NEXT_FLOW_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT_FLOW_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Emits the producing end of an async flow (work enqueued here). Trace
+/// exports render the start/end pair as an arrow from the enqueue site
+/// to wherever [`emit_flow_end`] fires with the same `flow_id`.
+pub fn emit_flow_start(name: &str, flow_id: u64) {
+    emit_flow(EventKind::FlowStart, name, flow_id);
+}
+
+/// Emits the consuming end of an async flow (enqueued work ran here).
+pub fn emit_flow_end(name: &str, flow_id: u64) {
+    emit_flow(EventKind::FlowEnd, name, flow_id);
+}
+
+fn emit_flow(kind: EventKind, name: &str, flow_id: u64) {
+    if !sink::events_enabled() {
+        return;
+    }
+    let (span_id, depth) = span::current_span_id();
+    sink::dispatch(&Event {
+        kind,
+        name: name.to_string(),
+        span_id,
+        parent_id: span_id,
+        depth,
+        seq: sink::next_seq(),
+        ts_ns: event::trace_epoch_ns(),
+        thread: current_thread_hash(),
+        wall_ns: None,
+        fields: vec![("flow_id".to_string(), FieldValue::U64(flow_id))],
+    });
+}
+
 /// Opens a timed span: `span!("recovery_phase", vddr_mv = -300.0)`.
 ///
 /// Binds the returned guard (`let _phase = span!(...)`); the span closes

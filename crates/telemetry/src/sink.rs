@@ -6,7 +6,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use crate::event::{current_thread_hash, thread_name, Event, EventKind};
+use crate::event::{current_thread_hash, thread_name, Event, EventKind, FieldValue};
 use crate::json::Json;
 
 /// A destination for telemetry events.
@@ -305,6 +305,24 @@ impl ChromeTraceSink {
                 // Thread-scoped instant: a tick on the emitting row only.
                 pairs.push(("s".to_string(), Json::String("t".to_string())));
             }
+            if matches!(event.kind, EventKind::FlowStart | EventKind::FlowEnd) {
+                // Flow arrows pair by (cat, name, id); the end binds to
+                // its enclosing slice (`bp: "e"`) so viewers draw the
+                // arrow into the executing span rather than past it.
+                let flow_id = event
+                    .fields
+                    .iter()
+                    .find_map(|(k, v)| match (k.as_str(), v) {
+                        ("flow_id", FieldValue::U64(id)) => Some(*id),
+                        _ => None,
+                    })
+                    .unwrap_or(0);
+                pairs.push(("cat".to_string(), Json::String("flow".to_string())));
+                pairs.push(("id".to_string(), Json::Number(flow_id as f64)));
+                if event.kind == EventKind::FlowEnd {
+                    pairs.push(("bp".to_string(), Json::String("e".to_string())));
+                }
+            }
             if !event.fields.is_empty() {
                 pairs.push((
                     "args".to_string(),
@@ -365,6 +383,8 @@ fn phase_of(kind: EventKind) -> &'static str {
         EventKind::SpanEnd => "E",
         EventKind::Point => "i",
         EventKind::Counter => "C",
+        EventKind::FlowStart => "s",
+        EventKind::FlowEnd => "f",
     }
 }
 
@@ -586,6 +606,44 @@ mod tests {
             .filter_map(|e| e.get("tid").and_then(Json::as_f64))
             .collect();
         assert_eq!(tids, vec![0.0; 4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chrome_trace_flow_events_pair_by_id() {
+        let path = scratch_path(&format!(
+            "selfheal-telemetry-trace-flow-{}.json",
+            current_thread_hash()
+        ));
+        {
+            let sink = ChromeTraceSink::create(&path).expect("test value");
+            for kind in [EventKind::FlowStart, EventKind::FlowEnd] {
+                sink.record(&Event {
+                    kind,
+                    fields: vec![("flow_id".to_string(), FieldValue::U64(42))],
+                    ..sample_event("runtime.pool.job")
+                });
+            }
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("test value");
+        let json = crate::json::parse(&text).expect("strict JSON");
+        let Some(Json::Array(trace)) = json.get("traceEvents") else {
+            panic!("traceEvents array present: {text}");
+        };
+        let start = &trace[0];
+        assert_eq!(start.get("ph").and_then(Json::as_str), Some("s"));
+        assert_eq!(start.get("cat").and_then(Json::as_str), Some("flow"));
+        assert_eq!(start.get("id").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(start.get("bp"), None);
+        let end = &trace[1];
+        assert_eq!(end.get("ph").and_then(Json::as_str), Some("f"));
+        assert_eq!(end.get("id").and_then(Json::as_f64), Some(42.0));
+        // The end binds to its enclosing slice so the arrow lands on it.
+        assert_eq!(end.get("bp").and_then(Json::as_str), Some("e"));
+        // Both ends share the (cat, name) pair viewers match on.
+        assert_eq!(end.get("cat").and_then(Json::as_str), Some("flow"));
+        assert_eq!(end.get("name"), start.get("name"));
         std::fs::remove_file(&path).ok();
     }
 

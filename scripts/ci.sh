@@ -19,7 +19,21 @@ echo "== cargo test" >&2
 cargo test -q
 
 echo "== cargo analyzer check" >&2
+# Includes the workspace dataflow pass: any deterministic root reaching
+# a clock/env/IO/unseeded-RNG sink without a justified trust annotation
+# is a finding, and the baseline is kept empty.
 cargo analyzer check
+
+echo "== cargo analyzer graph (smoke)" >&2
+# The graph dump must stay valid JSON and see every workspace crate.
+cargo analyzer graph | python3 -c '
+import json, sys
+g = json.load(sys.stdin)
+assert len(g["crates"]) >= 10, g["crates"]
+assert g["nodes"] and g["edges"] and g["roots"]
+n, e, r, c = (len(g[k]) for k in ("nodes", "edges", "roots", "crates"))
+print(f"analyzer graph: {n} nodes, {e} edges, {r} roots across {c} crates")
+'
 
 echo "== perf_gate --smoke" >&2
 cargo run -q --release -p selfheal-bench --bin perf_gate -- --smoke

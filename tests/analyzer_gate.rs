@@ -9,6 +9,7 @@
 use std::path::Path;
 
 use selfheal_analyzer::baseline;
+use selfheal_analyzer::graph::RootKind;
 
 #[test]
 fn workspace_passes_its_own_static_analysis() {
@@ -38,5 +39,61 @@ fn workspace_passes_its_own_static_analysis() {
         verdict.stale.is_empty(),
         "baseline entries no longer backed by findings — re-run `cargo analyzer check --update-baseline`: {:?}",
         verdict.stale,
+    );
+}
+
+#[test]
+fn deterministic_roots_are_closed_under_the_purity_analysis() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let flow = selfheal_analyzer::workspace_dataflow(root)
+        .expect("workspace sources must be readable");
+
+    // The dataflow pass must actually see the workspace: at least one
+    // node per crate, and a non-trivial root set anchored by the
+    // trap-kinetics kernel plus par/cache-derived roots.
+    let crates: std::collections::BTreeSet<&str> = flow
+        .graph
+        .nodes
+        .iter()
+        .map(|n| n.crate_name.as_str())
+        .collect();
+    assert!(crates.len() >= 10, "only saw crates: {crates:?}");
+    assert!(!flow.graph.roots.is_empty(), "no deterministic roots derived");
+    let kinds: std::collections::BTreeSet<RootKind> =
+        flow.graph.roots.values().copied().collect();
+    assert!(
+        kinds.contains(&RootKind::Kernel),
+        "TrapBank::advance_all must be a root: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&RootKind::ParClosure) && kinds.contains(&RootKind::CacheFeed),
+        "par-closure and cache-feed roots must both be derived: {kinds:?}"
+    );
+
+    // Closure: every deterministic root's *effective* taint is empty —
+    // each sink on a root-reachable path is either fixed or carries a
+    // justified `// analyzer: trust(...)` annotation. A non-empty taint
+    // here is the same defect `cargo analyzer check` reports as a
+    // `tainted-root` finding, pinned as a plain test so `cargo test`
+    // alone catches it.
+    for (&idx, kind) in &flow.graph.roots {
+        let node = &flow.graph.nodes[idx];
+        assert_eq!(
+            flow.effective[idx],
+            0,
+            "root `{}` ({}, {}:{}) has effective taint {:?}",
+            node.qualified,
+            kind.describe(),
+            node.file.display(),
+            node.line,
+            selfheal_analyzer::purity::taint_names(flow.effective[idx]),
+        );
+    }
+
+    // And the lock graph is acyclic (zero lock-order findings).
+    assert!(
+        flow.findings.is_empty(),
+        "dataflow findings must be empty: {:#?}",
+        flow.findings
     );
 }
