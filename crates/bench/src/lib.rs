@@ -66,8 +66,14 @@ pub fn campaign() -> ExperimentOutputs {
 ///   exporter as `SELFHEAL_TELEMETRY=trace:<path>`, as an extra sink);
 /// * `--folded <path>` — write the run's self-time profile in the
 ///   folded-stacks format `flamegraph.pl` consumes;
-/// * `SELFHEAL_TELEMETRY=pretty|jsonl:<path>|trace:<path>` — attach a
-///   span/event sink for the duration of the run.
+/// * `--status <path>` — stream an atomically-rewritten Prometheus
+///   text-exposition status file at the sampling cadence (point
+///   `selfheal-top <path>` at it for a live dashboard);
+/// * `SELFHEAL_TELEMETRY=pretty|jsonl:<path>|trace:<path>|timeseries:<path>`
+///   (comma-separated) — attach span/event sinks and the sampled
+///   time-series export for the duration of the run;
+/// * `SELFHEAL_TELEMETRY_SAMPLE=250ms` — sampling cadence for the
+///   time-series surfaces (also *enables* sampling on its own).
 #[derive(Debug)]
 pub struct BenchRun {
     name: &'static str,
@@ -75,6 +81,7 @@ pub struct BenchRun {
     out: Option<PathBuf>,
     folded: Option<PathBuf>,
     values: Vec<(String, f64)>,
+    sampler: Option<telemetry::Sampler>,
     _sink: Option<telemetry::SinkGuard>,
     _trace: Option<telemetry::SinkGuard>,
 }
@@ -93,6 +100,7 @@ impl BenchRun {
         let mut out = None;
         let mut trace = None;
         let mut folded = None;
+        let mut status = None;
         let mut threads = None;
         let mut no_cache = false;
         let mut args = std::env::args().skip(1);
@@ -102,6 +110,7 @@ impl BenchRun {
                 "--out" => out = args.next().map(PathBuf::from),
                 "--trace" => trace = args.next().map(PathBuf::from),
                 "--folded" => folded = args.next().map(PathBuf::from),
+                "--status" => status = args.next().map(PathBuf::from),
                 "--threads" => {
                     let parsed = args.next().and_then(|raw| raw.parse::<usize>().ok());
                     if parsed.is_some() {
@@ -132,12 +141,19 @@ impl BenchRun {
         if no_cache {
             runtime::set_cache_enabled(false);
         }
+        // The sampler starts after the pool is sized (its live probes
+        // should watch the pool this run actually uses) and after the
+        // registry reset, on fresh ring buffers.
+        telemetry::timeseries::reset_series();
+        let sampler =
+            telemetry::Sampler::start(telemetry::SamplerConfig::from_env().with_status(status));
         BenchRun {
             name,
             json,
             out,
             folded,
             values: Vec::new(),
+            sampler,
             _sink: sink,
             _trace: trace_sink,
         }
@@ -192,7 +208,13 @@ impl BenchRun {
     /// Ends the run: captures the manifest, writes it to `--out` or
     /// `target/manifests/<name>.json`, and under `--json` prints it to
     /// stdout. Returns the manifest for callers that want to inspect it.
-    pub fn finish(self, config_repr: &str) -> telemetry::RunManifest {
+    pub fn finish(mut self, config_repr: &str) -> telemetry::RunManifest {
+        // Stop the sampler first: it takes a final read-only tick, so the
+        // exports and the manifest's time-series summary both see the
+        // finished run's last state.
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
         let mut manifest = telemetry::RunManifest::capture(self.name, config_repr);
         for (key, value) in &self.values {
             manifest = manifest.with_number(key, *value);

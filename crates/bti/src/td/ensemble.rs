@@ -203,10 +203,14 @@ impl TrapEnsemble {
                 telemetry::metrics::counter_add("bti.td.trap_emissions", -net);
             }
             telemetry::metrics::gauge_set("bti.td.expected_occupied", stats.occupied_after);
+            // Throughput counters: the sampler's time-series (and the
+            // `selfheal-top` dashboard) derive traps-advanced/s and
+            // kernel-calls/s from successive samples of these.
             telemetry::metrics::counter_add(
                 "bti.td.kernel.traps_advanced",
                 self.bank.len() as f64,
             );
+            telemetry::metrics::counter_add("bti.td.kernel.advance_calls", 1.0);
         }
     }
 

@@ -264,11 +264,7 @@ impl CutArray {
         let delay = self.counter.delay_of_count(mean);
         // Survey delays across the die land in one histogram, so a single
         // snapshot shows the spatial POI spread §4.2 measures.
-        telemetry::histogram!(
-            "fpga.survey.poi_delay_ns",
-            &[4.0, 4.5, 5.0, 5.5, 6.0, 7.0],
-            delay.get(),
-        );
+        telemetry::histogram!("fpga.survey.poi_delay_ns", delay.get());
         telemetry::event!(
             "fpga.survey.measure",
             row = u32::from(location.row),

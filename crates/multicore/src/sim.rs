@@ -211,11 +211,7 @@ impl MulticoreSim {
                 .unwrap_or(0.0);
             telemetry::metrics::gauge_set("multicore.worst_delta_vth_mv", worst);
             let hottest = float::max_of(temps.iter().map(|t| t.get())).unwrap_or(0.0);
-            telemetry::metrics::histogram_observe(
-                "multicore.hottest_core_celsius",
-                &[40.0, 60.0, 80.0, 100.0, 120.0],
-                hottest,
-            );
+            telemetry::metrics::histogram_observe("multicore.hottest_core_celsius", hottest);
         }
     }
 

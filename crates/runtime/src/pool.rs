@@ -249,10 +249,35 @@ impl Pool {
                     .unwrap_or_else(|err| panic!("cannot spawn pool worker {w}: {err}"))
             })
             .collect();
+        Self::register_sampler_probes(&shared);
         Pool {
             shared,
             workers: handles,
         }
+    }
+
+    /// Registers live-value probes for the telemetry sampler: queue
+    /// depth, cumulative steals and cumulative executed jobs. The probes
+    /// hold a `Weak` handle, so they read nothing once the pool drops
+    /// (returning `None` unregisters them), and same-name registration
+    /// means a replacement global pool supersedes its predecessor's
+    /// probes. Strictly read-only: sampling can never perturb
+    /// deterministic scheduling.
+    fn register_sampler_probes(shared: &Arc<Shared>) {
+        let weak = Arc::downgrade(shared);
+        telemetry::register_probe("runtime.pool.queue_depth", move || {
+            weak.upgrade().map(|s| s.depth() as f64)
+        });
+        let weak = Arc::downgrade(shared);
+        telemetry::register_probe("runtime.pool.steals_total", move || {
+            weak.upgrade()
+                .map(|s| s.steals.load(Ordering::Relaxed) as f64)
+        });
+        let weak = Arc::downgrade(shared);
+        telemetry::register_probe("runtime.pool.jobs_executed_total", move || {
+            weak.upgrade()
+                .map(|s| s.executed.load(Ordering::Relaxed) as f64)
+        });
     }
 
     /// The inline-serial pool: no worker threads, every batch runs on
@@ -479,7 +504,6 @@ impl Pool {
             if region_executed > 0 {
                 telemetry::metrics::histogram_observe(
                     "runtime.pool.steal_ratio",
-                    &[0.05, 0.1, 0.25, 0.5, 0.75, 1.0],
                     region_steals as f64 / region_executed as f64,
                 );
             }

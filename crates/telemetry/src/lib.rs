@@ -18,9 +18,18 @@
 //! `SELFHEAL_TELEMETRY` environment variable ([`init_from_env`]):
 //!
 //! ```text
-//! SELFHEAL_TELEMETRY=pretty          # human-readable span tree on stderr
-//! SELFHEAL_TELEMETRY=jsonl:out.jsonl # one JSON object per event
+//! SELFHEAL_TELEMETRY=pretty               # human-readable span tree on stderr
+//! SELFHEAL_TELEMETRY=jsonl:out.jsonl      # one JSON object per event
+//! SELFHEAL_TELEMETRY=trace:out.json       # Chrome/Perfetto trace export
+//! SELFHEAL_TELEMETRY=timeseries:ts.jsonl  # sampled time-series (see below)
+//! SELFHEAL_TELEMETRY=pretty,trace:t.json  # comma-separated: several at once
 //! ```
+//!
+//! A fourth layer streams *time-resolved* metrics while the run is
+//! still going: the [`timeseries`] module's background sampler snapshots
+//! the registry at a `SELFHEAL_TELEMETRY_SAMPLE` cadence and exports
+//! ring buffers, a JSONL series, Chrome-trace counter tracks and a
+//! Prometheus text-exposition status file that `selfheal-top` tails.
 //!
 //! # Example
 //!
@@ -51,6 +60,7 @@ pub mod manifest;
 pub mod metrics;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 
 pub use event::{
     current_thread_hash, register_thread_name, thread_name, trace_epoch_ns, Event, EventKind,
@@ -58,7 +68,7 @@ pub use event::{
 };
 pub use json::Json;
 pub use manifest::{fnv1a, git_describe, RunManifest};
-pub use metrics::{counter_add, gauge_set, histogram_observe, Metric, MetricsSnapshot};
+pub use metrics::{counter_add, gauge_set, histogram_observe, Histogram, Metric, MetricsSnapshot};
 pub use sink::{
     events_enabled, flush_all, init_from_env, install_sink, ChromeTraceSink, JsonlSink,
     MemorySink, Sink, SinkGuard, StderrSink, ENV_VAR,
@@ -66,6 +76,10 @@ pub use sink::{
 pub use span::{
     render_folded, reset_self_time, self_time_snapshot, take_phase_timings, take_self_time,
     PhaseTiming, SelfTimeEntry, Span,
+};
+pub use timeseries::{
+    parse_exposition, parse_interval, register_probe, render_exposition, Exposition, Sampler,
+    SamplerConfig, SeriesPoint, SeriesSummary, SAMPLE_ENV_VAR,
 };
 
 /// True when any telemetry consumer is active: a sink is installed or the
@@ -231,13 +245,14 @@ macro_rules! gauge {
     };
 }
 
-/// Observes into a named fixed-bucket histogram:
-/// `histogram!("fpga.ro.frequency_mhz", &[80.0, 90.0, 100.0], mhz)`.
+/// Observes into a named mergeable log-bucketed histogram:
+/// `histogram!("fpga.ro.frequency_mhz", mhz)`. Buckets are geometric
+/// (≈ 4.4 % relative width), so no per-site bounds are needed.
 #[macro_export]
 macro_rules! histogram {
-    ($name:expr, $bounds:expr, $value:expr $(,)?) => {
+    ($name:expr, $value:expr $(,)?) => {
         if $crate::metrics::enabled() {
-            $crate::metrics::histogram_observe($name, $bounds, f64::from($value));
+            $crate::metrics::histogram_observe($name, f64::from($value));
         }
     };
 }
@@ -298,7 +313,7 @@ mod tests {
         metrics::set_enabled(true);
         counter!("test.lib.counter", 2.0);
         gauge!("test.lib.gauge", 7.5);
-        histogram!("test.lib.hist", &[1.0, 10.0], 3.0);
+        histogram!("test.lib.hist", 3.0);
         let snap = metrics::snapshot();
         assert_eq!(snap.get("test.lib.counter"), Some(&Metric::Counter(2.0)));
         assert_eq!(snap.get("test.lib.gauge"), Some(&Metric::Gauge(7.5)));

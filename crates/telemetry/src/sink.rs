@@ -50,21 +50,33 @@ pub fn install_sink(sink: Arc<dyn Sink>) -> SinkGuard {
     let mut registry = sinks();
     registry.push((id, sink));
     EVENTS_ON.store(true, Ordering::Relaxed);
-    SinkGuard { id }
+    SinkGuard { ids: vec![id] }
 }
 
-/// Removes the guarded sink on drop (flushing it first).
+/// Removes the guarded sinks on drop (flushing each first). One guard can
+/// own several sinks: [`init_from_env`] installs every comma-separated
+/// spec under a single guard.
 #[derive(Debug)]
 pub struct SinkGuard {
-    id: u64,
+    ids: Vec<u64>,
+}
+
+impl SinkGuard {
+    /// Folds another guard's sinks into this one (both are then removed
+    /// when `self` drops).
+    pub fn merge(&mut self, mut other: SinkGuard) {
+        self.ids.append(&mut other.ids);
+    }
 }
 
 impl Drop for SinkGuard {
     fn drop(&mut self) {
         let mut registry = sinks();
-        if let Some(at) = registry.iter().position(|(id, _)| *id == self.id) {
-            let (_, sink) = registry.remove(at);
-            sink.flush();
+        for owned in self.ids.drain(..) {
+            if let Some(at) = registry.iter().position(|(id, _)| *id == owned) {
+                let (_, sink) = registry.remove(at);
+                sink.flush();
+            }
         }
         EVENTS_ON.store(!registry.is_empty(), Ordering::Relaxed);
     }
@@ -120,9 +132,10 @@ impl Sink for StderrSink {
     }
 
     /// On flush (end of run), summarize every registered histogram with
-    /// count/mean and p50/p90/p99 — the interactive counterpart of the
-    /// quantiles the manifest snapshot stores — plus a one-line pool
-    /// utilisation digest when the run used the execution pool.
+    /// count/mean and bucket-derived p50/p90/p99/p999 — the interactive
+    /// counterpart of the quantiles the manifest snapshot stores — plus a
+    /// one-line pool utilisation digest when the run used the execution
+    /// pool.
     fn flush(&self) {
         if self.summarized.swap(true, Ordering::Relaxed) {
             return;
@@ -132,14 +145,17 @@ impl Sink for StderrSink {
             let crate::metrics::Metric::Histogram(h) = metric else {
                 continue;
             };
-            let (Some(p50), Some(p90), Some(p99)) =
-                (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99))
-            else {
+            let (Some(p50), Some(p90), Some(p99), Some(p999)) = (
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.quantile(0.999),
+            ) else {
                 continue; // empty histogram: nothing to summarize
             };
             let mean = h.mean().unwrap_or(f64::NAN);
             eprintln!(
-                "[telemetry] histogram {name}: n={} mean={mean:.4} p50={p50:.4} p90={p90:.4} p99={p99:.4}",
+                "[telemetry] histogram {name}: n={} mean={mean:.4} p50={p50:.4} p90={p90:.4} p99={p99:.4} p999={p999:.4}",
                 h.count(),
             );
         }
@@ -446,45 +462,61 @@ impl Sink for MemorySink {
 /// The environment variable holding the sink configuration.
 pub const ENV_VAR: &str = "SELFHEAL_TELEMETRY";
 
-/// Configures sinks from `SELFHEAL_TELEMETRY`:
+/// Configures sinks from `SELFHEAL_TELEMETRY` — a comma-separated list
+/// of specs, installed under one guard:
 ///
 /// * unset / empty / `off` — no sink (returns `None`);
 /// * `pretty` or `stderr` — the stderr pretty-printer;
 /// * `jsonl:<path>` — the JSONL file sink;
-/// * `trace:<path>` — the Chrome/Perfetto trace exporter.
+/// * `trace:<path>` — the Chrome/Perfetto trace exporter;
+/// * `timeseries:<path>` — not an event sink: records the sampled
+///   time-series JSONL path for the next
+///   [`crate::timeseries::Sampler`] start.
 ///
-/// Unrecognized values and file-creation failures print one warning to
-/// stderr and return `None` — a typo in an env var must not kill a
-/// multi-hour simulation.
+/// Unrecognized specs and file-creation failures print one warning to
+/// stderr and are skipped — a typo in an env var must not kill a
+/// multi-hour simulation. Returns `None` when no event sink was
+/// installed (a lone `timeseries:` spec still takes effect).
 #[must_use = "the sink is removed when the guard drops"]
 pub fn init_from_env() -> Option<SinkGuard> {
     let value = std::env::var(ENV_VAR).ok()?;
-    match value.trim() {
-        "" | "off" => None,
-        "pretty" | "stderr" => Some(install_sink(Arc::new(StderrSink::default()))),
-        spec => {
-            if let Some(path) = spec.strip_prefix("jsonl:") {
-                match JsonlSink::create(Path::new(path)) {
-                    Ok(sink) => Some(install_sink(Arc::new(sink))),
-                    Err(err) => {
-                        eprintln!("[telemetry] cannot open {path}: {err}; telemetry disabled");
-                        None
+    let mut guard: Option<SinkGuard> = None;
+    let add = |g: SinkGuard, guard: &mut Option<SinkGuard>| match guard {
+        Some(existing) => existing.merge(g),
+        None => *guard = Some(g),
+    };
+    for spec in value.split(',') {
+        match spec.trim() {
+            "" | "off" => {}
+            "pretty" | "stderr" => {
+                add(install_sink(Arc::new(StderrSink::default())), &mut guard);
+            }
+            spec => {
+                if let Some(path) = spec.strip_prefix("jsonl:") {
+                    match JsonlSink::create(Path::new(path)) {
+                        Ok(sink) => add(install_sink(Arc::new(sink)), &mut guard),
+                        Err(err) => {
+                            eprintln!("[telemetry] cannot open {path}: {err}; spec skipped");
+                        }
                     }
-                }
-            } else if let Some(path) = spec.strip_prefix("trace:") {
-                match ChromeTraceSink::create(Path::new(path)) {
-                    Ok(sink) => Some(install_sink(Arc::new(sink))),
-                    Err(err) => {
-                        eprintln!("[telemetry] cannot open {path}: {err}; telemetry disabled");
-                        None
+                } else if let Some(path) = spec.strip_prefix("trace:") {
+                    match ChromeTraceSink::create(Path::new(path)) {
+                        Ok(sink) => add(install_sink(Arc::new(sink)), &mut guard),
+                        Err(err) => {
+                            eprintln!("[telemetry] cannot open {path}: {err}; spec skipped");
+                        }
                     }
+                } else if let Some(path) = spec.strip_prefix("timeseries:") {
+                    crate::timeseries::set_jsonl_path(Some(PathBuf::from(path)));
+                } else {
+                    eprintln!(
+                        "[telemetry] unrecognized {ENV_VAR} spec {spec:?}; expected off | pretty | jsonl:<path> | trace:<path> | timeseries:<path>"
+                    );
                 }
-            } else {
-                eprintln!("[telemetry] unrecognized {ENV_VAR}={spec}; expected off | pretty | jsonl:<path> | trace:<path>");
-                None
             }
         }
     }
+    guard
 }
 
 /// A scratch file path under the target directory (used by doc examples

@@ -1,0 +1,967 @@
+//! Streaming time-series telemetry: the periodic sampler, per-metric ring
+//! buffers, the JSONL time-series export and the Prometheus
+//! text-exposition status file.
+//!
+//! Everything else in this crate produces *end-of-run* artifacts; this
+//! module is the live half. A background sampler thread snapshots the
+//! metrics registry (plus any registered live [`register_probe`] values)
+//! at a configurable cadence and fans each tick out to four surfaces:
+//!
+//! * fixed-capacity **ring buffers** per metric (`series_snapshot`,
+//!   summarized into run manifests),
+//! * a **JSONL** time-series file (`SELFHEAL_TELEMETRY=timeseries:<path>`),
+//! * an atomically-rewritten **Prometheus text-exposition** status file
+//!   (`--status <path>` on bench binaries; `selfheal-top` tails it),
+//! * **Chrome-trace counter tracks** (via [`crate::emit_counter`]), so
+//!   Perfetto shows queue depth and cache hit-rate *over time*.
+//!
+//! # Determinism
+//!
+//! The sampler is strictly *read-only* with respect to the metrics
+//! registry and the span ledgers: probe values flow into rings, files
+//! and trace counters, never back into metrics. Simulation results and
+//! manifest metric snapshots are therefore bit-identical with sampling
+//! on or off — pinned by `tests/runtime_determinism.rs`. Wall-clock
+//! access goes through the crate's single trusted chokepoint
+//! ([`crate::trace_epoch_ns`]); the only other nondeterminism is the
+//! sampling cadence itself, which is why everything the sampler writes
+//! lands in surfaces `manifest_diff` ignores.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use crate::event::trace_epoch_ns;
+use crate::json::Json;
+use crate::metrics::{self, Metric};
+
+/// The environment variable holding the sampling cadence (`250ms`, `2s`,
+/// `off`). Setting it enables the sampler even without a `--status` path
+/// or JSONL export, so ring buffers fill for the manifest summary.
+pub const SAMPLE_ENV_VAR: &str = "SELFHEAL_TELEMETRY_SAMPLE";
+
+/// Default sampling cadence when outputs are requested but no cadence is
+/// configured.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Ring-buffer capacity per series: at the default 250 ms cadence this
+/// holds the trailing ~8.5 minutes; older points fall off the front.
+const RING_CAPACITY: usize = 2048;
+
+/// One sampled point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Nanoseconds since the process trace epoch (same clock as
+    /// `Event.ts_ns`).
+    pub ts_ns: u64,
+    /// The sampled value.
+    pub value: f64,
+}
+
+/// A fixed-capacity ring of sampled points for one metric.
+#[derive(Debug, Clone, Default)]
+struct Ring {
+    points: VecDeque<SeriesPoint>,
+}
+
+impl Ring {
+    fn push(&mut self, point: SeriesPoint) {
+        if self.points.len() == RING_CAPACITY {
+            self.points.pop_front();
+        }
+        self.points.push_back(point);
+    }
+}
+
+/// End-of-run summary of one series, reported by [`summaries`] and
+/// embedded in run manifests (where `manifest_diff` auto-ignores it —
+/// sampling cadence is wall-clock dependent by nature).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSummary {
+    /// Metric name (dotted, as registered).
+    pub name: String,
+    /// Number of retained points.
+    pub points: usize,
+    /// Smallest sampled value.
+    pub min: f64,
+    /// Largest sampled value.
+    pub max: f64,
+    /// Arithmetic mean of the retained points.
+    pub mean: f64,
+    /// Most recent sampled value.
+    pub last: f64,
+}
+
+impl SeriesSummary {
+    /// JSON object with the per-metric summary fields.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("points".to_string(), Json::Number(self.points as f64)),
+            ("min".to_string(), Json::Number(self.min)),
+            ("max".to_string(), Json::Number(self.max)),
+            ("mean".to_string(), Json::Number(self.mean)),
+            ("last".to_string(), Json::Number(self.last)),
+        ])
+    }
+}
+
+/// The ring-buffer store. Locked briefly per tick; never held across any
+/// other lock acquisition (the registry snapshot completes first).
+static SERIES: Mutex<BTreeMap<String, Ring>> = Mutex::new(BTreeMap::new());
+
+fn series_store() -> MutexGuard<'static, BTreeMap<String, Ring>> {
+    SERIES.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A live-value probe: sampled by the sampler thread each tick. Returning
+/// `None` unregisters the probe (probes holding `Weak` references to
+/// pool internals expire this way when the pool is dropped).
+type Probe = Box<dyn Fn() -> Option<f64> + Send + Sync>;
+
+/// Registered probes, sampled in registration order.
+static PROBES: Mutex<Vec<(String, Probe)>> = Mutex::new(Vec::new());
+
+fn probe_store() -> MutexGuard<'static, Vec<(String, Probe)>> {
+    PROBES.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Registers a live-value probe under `name`, replacing any existing
+/// probe with the same name (a new global pool supersedes the old one's
+/// probes). The probe runs on the sampler thread; it must be cheap and
+/// must not touch the metrics registry. Return `None` to unregister.
+pub fn register_probe(name: &str, probe: impl Fn() -> Option<f64> + Send + Sync + 'static) {
+    let mut probes = probe_store();
+    probes.retain(|(existing, _)| existing != name);
+    probes.push((name.to_string(), Box::new(probe)));
+}
+
+/// Samples every registered probe, pruning the expired ones.
+fn sample_probes() -> Vec<(String, f64)> {
+    let mut probes = probe_store();
+    let mut values = Vec::with_capacity(probes.len());
+    probes.retain(|(name, probe)| match probe() {
+        Some(value) => {
+            values.push((name.clone(), value));
+            true
+        }
+        None => false,
+    });
+    values
+}
+
+/// Clears every ring buffer (bench runs call this at start so manifests
+/// summarize only their own run).
+pub fn reset_series() {
+    series_store().clear();
+}
+
+/// A copy of every ring buffer's retained points.
+#[must_use]
+pub fn series_snapshot() -> BTreeMap<String, Vec<SeriesPoint>> {
+    series_store()
+        .iter()
+        .map(|(name, ring)| (name.clone(), ring.points.iter().copied().collect()))
+        .collect()
+}
+
+/// Per-series min/max/mean/last summaries, deterministically ordered by
+/// name — the manifest's `timeseries` section.
+#[must_use]
+pub fn summaries() -> Vec<SeriesSummary> {
+    series_snapshot()
+        .into_iter()
+        .filter(|(_, points)| !points.is_empty())
+        .map(|(name, points)| {
+            let values: Vec<f64> = points.iter().map(|p| p.value).collect();
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            for v in &values {
+                min = if v.total_cmp(&min).is_lt() { *v } else { min };
+                max = if v.total_cmp(&max).is_gt() { *v } else { max };
+                sum += v;
+            }
+            SeriesSummary {
+                name,
+                points: values.len(),
+                min,
+                max,
+                mean: sum / values.len() as f64,
+                last: *values.last().expect("filtered non-empty"),
+            }
+        })
+        .collect()
+}
+
+/// Parses a human cadence: `250ms`, `2s`, `1500us`. `None` for anything
+/// else (including `off`, zero and negatives).
+#[must_use]
+pub fn parse_interval(spec: &str) -> Option<Duration> {
+    let spec = spec.trim();
+    let (digits, unit): (&str, fn(u64) -> Duration) = if let Some(n) = spec.strip_suffix("ms") {
+        (n, Duration::from_millis)
+    } else if let Some(n) = spec.strip_suffix("us") {
+        (n, Duration::from_micros)
+    } else if let Some(n) = spec.strip_suffix('s') {
+        (n, Duration::from_secs)
+    } else {
+        return None;
+    };
+    let count: u64 = digits.trim().parse().ok()?;
+    (count > 0).then(|| unit(count))
+}
+
+/// Reads `SELFHEAL_TELEMETRY_SAMPLE` — the sampler's one environment
+/// chokepoint. The cadence only modulates *when* read-only samples are
+/// taken, never what the simulation computes, so it cannot perturb
+/// deterministic results.
+fn sample_env() -> Option<String> {
+    // analyzer: trust(env): sampling cadence only affects observation timing, not simulation state
+    std::env::var(SAMPLE_ENV_VAR).ok()
+}
+
+/// The JSONL time-series path configured via
+/// `SELFHEAL_TELEMETRY=timeseries:<path>` (stored by
+/// [`crate::init_from_env`], consumed by [`SamplerConfig::from_env`]).
+static JSONL_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Records the JSONL export path for the next sampler start.
+pub fn set_jsonl_path(path: Option<PathBuf>) {
+    *JSONL_PATH.lock().unwrap_or_else(PoisonError::into_inner) = path;
+}
+
+fn jsonl_path() -> Option<PathBuf> {
+    JSONL_PATH
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Sampler configuration: cadence plus the optional export surfaces.
+#[derive(Debug, Clone, Default)]
+pub struct SamplerConfig {
+    /// Sampling cadence; `None` means "not explicitly configured" (the
+    /// default [`DEFAULT_INTERVAL`] applies if an output enables the
+    /// sampler).
+    pub interval: Option<Duration>,
+    /// JSONL time-series output path.
+    pub jsonl: Option<PathBuf>,
+    /// Prometheus text-exposition status-file path.
+    pub status: Option<PathBuf>,
+}
+
+impl SamplerConfig {
+    /// Builds a config from `SELFHEAL_TELEMETRY_SAMPLE` (cadence) and the
+    /// `timeseries:<path>` spec recorded by [`crate::init_from_env`].
+    #[must_use]
+    pub fn from_env() -> SamplerConfig {
+        let interval = sample_env().as_deref().and_then(parse_interval);
+        SamplerConfig {
+            interval,
+            jsonl: jsonl_path(),
+            status: None,
+        }
+    }
+
+    /// Sets the status-file path (`--status <path>`).
+    #[must_use]
+    pub fn with_status(mut self, path: Option<PathBuf>) -> SamplerConfig {
+        self.status = path;
+        self
+    }
+
+    /// Whether anything asked for sampling: an explicit cadence or any
+    /// output surface.
+    #[must_use]
+    pub fn should_run(&self) -> bool {
+        self.interval.is_some() || self.jsonl.is_some() || self.status.is_some()
+    }
+
+    /// The effective cadence.
+    #[must_use]
+    pub fn effective_interval(&self) -> Duration {
+        self.interval.unwrap_or(DEFAULT_INTERVAL)
+    }
+}
+
+/// Shared state between the sampler handle and its thread.
+struct SamplerShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// Handle to the background sampler thread. Sampling runs from
+/// [`Sampler::start`] until [`Sampler::stop`] (or drop), which takes one
+/// final sample before joining so even sub-cadence runs export a
+/// complete last tick.
+pub struct Sampler {
+    shared: Arc<SamplerShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Sampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sampler").finish_non_exhaustive()
+    }
+}
+
+impl Sampler {
+    /// Spawns the sampler thread. Returns `None` when the config requests
+    /// no sampling, or when a requested output file cannot be created
+    /// (one warning on stderr — telemetry must never kill the run).
+    #[must_use]
+    pub fn start(config: SamplerConfig) -> Option<Sampler> {
+        if !config.should_run() {
+            return None;
+        }
+        let mut jsonl = None;
+        if let Some(path) = &config.jsonl {
+            match File::create(path) {
+                Ok(file) => jsonl = Some(BufWriter::new(file)),
+                Err(err) => {
+                    eprintln!(
+                        "[telemetry] cannot open time-series file {}: {err}; export disabled",
+                        path.display(),
+                    );
+                }
+            }
+        }
+        let shared = Arc::new(SamplerShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let interval = config.effective_interval();
+        let status = config.status.clone();
+        let thread = std::thread::Builder::new()
+            .name("selfheal-sampler".to_string())
+            .spawn(move || {
+                crate::event::register_thread_name("selfheal-sampler");
+                let mut jsonl = jsonl;
+                loop {
+                    sample_tick(&mut jsonl, status.as_deref());
+                    let guard = thread_shared
+                        .stop
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    let (guard, _) = thread_shared
+                        .wake
+                        .wait_timeout(guard, interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if *guard {
+                        drop(guard);
+                        // Final tick: the exported tail reflects end-of-run
+                        // state even when the run is shorter than one period.
+                        sample_tick(&mut jsonl, status.as_deref());
+                        break;
+                    }
+                }
+            });
+        match thread {
+            Ok(thread) => Some(Sampler {
+                shared,
+                thread: Some(thread),
+            }),
+            Err(err) => {
+                eprintln!("[telemetry] cannot spawn sampler thread: {err}; sampling disabled");
+                None
+            }
+        }
+    }
+
+    /// Stops the sampler: takes a final sample, flushes the exports and
+    /// joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        *self
+            .shared
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.shared.wake.notify_all();
+        let _ = thread.join();
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One sampling tick: read probes, snapshot the registry, fan out to the
+/// rings, the trace counter tracks, the JSONL export and the status file.
+/// Strictly read-only against the metrics registry.
+fn sample_tick(jsonl: &mut Option<BufWriter<File>>, status: Option<&Path>) {
+    let ts_ns = trace_epoch_ns();
+    let probes = sample_probes();
+    let snapshot = metrics::snapshot();
+    let mut values: Vec<(String, f64)> = probes.clone();
+    for (name, metric) in &snapshot.metrics {
+        match metric {
+            Metric::Counter(v) | Metric::Gauge(v) => values.push((name.clone(), *v)),
+            Metric::Histogram(h) => {
+                values.push((format!("{name}.count"), h.count() as f64));
+                if let Some(mean) = h.mean() {
+                    values.push((format!("{name}.mean"), mean));
+                }
+                if let Some(p99) = h.quantile(0.99) {
+                    values.push((format!("{name}.p99"), p99));
+                }
+            }
+        }
+    }
+    values.sort_by(|a, b| a.0.cmp(&b.0));
+    values.dedup_by(|a, b| a.0 == b.0);
+    store_points(ts_ns, &values);
+    // Live probe values become Chrome-trace counter tracks, alongside a
+    // derived cache hit-rate track: the Perfetto "over time" view.
+    for (name, value) in &probes {
+        crate::emit_counter(name, *value);
+    }
+    if let Some(rate) = cache_hit_rate(&snapshot) {
+        crate::emit_counter("runtime.cache.hit_rate", rate);
+    }
+    // An all-empty tick (before the first metric registers) carries no
+    // information: skip the JSONL line. The status file still rewrites
+    // below — it doubles as the liveness heartbeat for dashboards.
+    if let (Some(writer), false) = (jsonl.as_mut(), values.is_empty()) {
+        let line = Json::object(vec![
+            ("ts_ns".to_string(), Json::Number(ts_ns as f64)),
+            (
+                "metrics".to_string(),
+                Json::object(
+                    values
+                        .iter()
+                        .map(|(name, value)| (name.clone(), Json::Number(*value)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        // A full disk loses samples, never the run.
+        let _ = writeln!(writer, "{}", line.render());
+        let _ = writer.flush();
+    }
+    if let Some(path) = status {
+        write_status_file(path, ts_ns, &snapshot, &probes);
+    }
+}
+
+/// Derived cache hit rate from the registry counters (absent counter
+/// reads as zero; `None` until any cache traffic exists).
+fn cache_hit_rate(snapshot: &metrics::MetricsSnapshot) -> Option<f64> {
+    let scalar = |name: &str| match snapshot.get(name) {
+        Some(Metric::Counter(v) | Metric::Gauge(v)) => Some(*v),
+        _ => None,
+    };
+    let hits = scalar("runtime.cache.hits");
+    let misses = scalar("runtime.cache.misses");
+    if hits.is_none() && misses.is_none() {
+        return None;
+    }
+    let (hits, misses) = (hits.unwrap_or(0.0), misses.unwrap_or(0.0));
+    let total = hits + misses;
+    (total > 0.0).then(|| hits / total)
+}
+
+/// Appends one tick's values into the ring buffers.
+fn store_points(ts_ns: u64, values: &[(String, f64)]) {
+    let mut store = series_store();
+    for (name, value) in values {
+        store
+            .entry(name.clone())
+            .or_default()
+            .push(SeriesPoint {
+                ts_ns,
+                value: *value,
+            });
+    }
+}
+
+/// Sanitizes a dotted metric name into a Prometheus metric name:
+/// `runtime.pool.queue_depth` → `selfheal_runtime_pool_queue_depth`.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("selfheal_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Formats a sample value the way Prometheus expects (`+Inf`, `-Inf`,
+/// `NaN`, plain decimal otherwise).
+fn format_value(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// Renders the full Prometheus text exposition for one sample tick:
+/// every registry metric (histograms as cumulative `_bucket`/`_sum`/
+/// `_count` families), every probe value as a gauge, the sample
+/// timestamp (`selfheal_sample_ts_ns`, the clock `selfheal-top` derives
+/// rates against) and the top self-time spans as labelled gauges.
+#[must_use]
+pub fn render_exposition(
+    ts_ns: u64,
+    snapshot: &metrics::MetricsSnapshot,
+    probes: &[(String, f64)],
+) -> String {
+    let mut out = String::new();
+    let mut emit = |name: &str, kind: &str, lines: &[String]| {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    };
+    emit(
+        "selfheal_sample_ts_ns",
+        "gauge",
+        &[format!("selfheal_sample_ts_ns {}", format_value(ts_ns as f64))],
+    );
+    for (name, value) in probes {
+        let name = prometheus_name(name);
+        emit(&name, "gauge", &[format!("{name} {}", format_value(*value))]);
+    }
+    for (name, metric) in &snapshot.metrics {
+        // A probe with the same name owns the family (live beats
+        // registry); skip the registry copy to keep names unique.
+        if probes.iter().any(|(p, _)| p == name) {
+            continue;
+        }
+        let prom = prometheus_name(name);
+        match metric {
+            Metric::Counter(v) => {
+                emit(&prom, "counter", &[format!("{prom} {}", format_value(*v))]);
+            }
+            Metric::Gauge(v) => {
+                emit(&prom, "gauge", &[format!("{prom} {}", format_value(*v))]);
+            }
+            Metric::Histogram(h) => {
+                let mut lines = Vec::new();
+                for (le, cumulative) in h.cumulative_buckets() {
+                    lines.push(format!(
+                        "{prom}_bucket{{le=\"{}\"}} {cumulative}",
+                        format_value(le),
+                    ));
+                }
+                lines.push(format!("{prom}_bucket{{le=\"+Inf\"}} {}", h.count()));
+                lines.push(format!("{prom}_sum {}", format_value(h.approx_sum())));
+                lines.push(format!("{prom}_count {}", h.count()));
+                emit(&prom, "histogram", &lines);
+            }
+        }
+    }
+    let self_time = crate::span::self_time_snapshot();
+    if !self_time.is_empty() {
+        out.push_str("# TYPE selfheal_span_self_seconds gauge\n");
+        for entry in self_time.iter().take(5) {
+            out.push_str(&format!(
+                "selfheal_span_self_seconds{{stack=\"{}\"}} {}\n",
+                escape_label(&entry.stack),
+                format_value(entry.self_ns as f64 / 1e9),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the exposition and atomically replaces the status file
+/// (sibling tmp + rename), so a concurrent `selfheal-top` never reads a
+/// torn write.
+fn write_status_file(
+    path: &Path,
+    ts_ns: u64,
+    snapshot: &metrics::MetricsSnapshot,
+    probes: &[(String, f64)],
+) {
+    let text = render_exposition(ts_ns, snapshot, probes);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    // Same-directory rename is atomic; errors lose one status update,
+    // never the run.
+    if std::fs::write(&tmp, text).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// One parsed exposition sample: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric (or family member) name, e.g. `selfheal_foo_bucket`.
+    pub name: String,
+    /// Label key/value pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed Prometheus text exposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// `# TYPE` declarations: family name → type string.
+    pub types: BTreeMap<String, String>,
+    /// Every sample line, in order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The value of the first label-free sample with this exact name.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map(|s| s.value)
+    }
+
+    /// Every sample whose name matches exactly.
+    #[must_use]
+    pub fn samples_named<'a>(&'a self, name: &str) -> Vec<&'a Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_labels(body: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_metric_name(&key) {
+            return Err(format!("line {line_no}: bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (at, c) in chars {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(at);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((key, value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("line {line_no}: expected ',' between labels"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses (and thereby validates) a Prometheus text exposition — the
+/// tiny in-tree parser backing `selfheal-top` and the CI smoke check.
+///
+/// Accepts the subset this crate emits: `# TYPE`/`# HELP`/comment lines
+/// and `name{labels} value` samples. Rejects malformed metric names,
+/// label syntax and unparseable values.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
+    for (at, line) in text.lines().enumerate() {
+        let line_no = at + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut words = comment.split_whitespace();
+            if words.next() == Some("TYPE") {
+                let name = words
+                    .next()
+                    .ok_or_else(|| format!("line {line_no}: TYPE without a name"))?;
+                let kind = words
+                    .next()
+                    .ok_or_else(|| format!("line {line_no}: TYPE without a type"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: bad metric name {name:?}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {line_no}: unknown type {kind:?}"));
+                }
+                exposition.types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, labels, value_part) = if let Some(open) = line.find('{') {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("line {line_no}: unterminated label set"))?;
+            if close < open {
+                return Err(format!("line {line_no}: mismatched braces"));
+            }
+            (
+                &line[..open],
+                parse_labels(&line[open + 1..close], line_no)?,
+                line[close + 1..].trim(),
+            )
+        } else {
+            let mut parts = line.splitn(2, char::is_whitespace);
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {line_no}: empty sample"))?;
+            (name, Vec::new(), parts.next().unwrap_or("").trim())
+        };
+        let name = name_part.trim();
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: bad metric name {name:?}"));
+        }
+        // An optional trailing timestamp is permitted by the format; we
+        // take the first token as the value.
+        let value_token = value_part
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+        let value: f64 = value_token
+            .parse()
+            .map_err(|_| format!("line {line_no}: bad value {value_token:?}"))?;
+        exposition.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    if exposition.samples.is_empty() {
+        return Err("exposition contains no samples".to_string());
+    }
+    Ok(exposition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_parsing() {
+        assert_eq!(parse_interval("250ms"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_interval(" 2s "), Some(Duration::from_secs(2)));
+        assert_eq!(parse_interval("1500us"), Some(Duration::from_micros(1500)));
+        assert_eq!(parse_interval("0ms"), None);
+        assert_eq!(parse_interval("off"), None);
+        assert_eq!(parse_interval("250"), None);
+        assert_eq!(parse_interval("-1s"), None);
+    }
+
+    #[test]
+    fn ring_buffers_cap_and_summarize() {
+        // Unique prefix: the store is process-global and tests run in
+        // parallel.
+        reset_series();
+        let mut store = series_store();
+        let ring = store.entry("test.ts.ring".to_string()).or_default();
+        for i in 0..(RING_CAPACITY + 10) {
+            ring.push(SeriesPoint {
+                ts_ns: i as u64,
+                value: i as f64,
+            });
+        }
+        assert_eq!(ring.points.len(), RING_CAPACITY);
+        assert_eq!(ring.points.front().expect("non-empty").ts_ns, 10);
+        drop(store);
+        let summary = summaries()
+            .into_iter()
+            .find(|s| s.name == "test.ts.ring")
+            .expect("series summarized");
+        assert_eq!(summary.points, RING_CAPACITY);
+        assert_eq!(summary.min, 10.0);
+        assert_eq!(summary.max, (RING_CAPACITY + 9) as f64);
+        assert_eq!(summary.last, (RING_CAPACITY + 9) as f64);
+    }
+
+    #[test]
+    fn probes_sample_and_expire() {
+        register_probe("test.ts.probe_live", || Some(7.0));
+        register_probe("test.ts.probe_dead", || None);
+        let values = sample_probes();
+        assert!(values.contains(&("test.ts.probe_live".to_string(), 7.0)));
+        assert!(values.iter().all(|(n, _)| n != "test.ts.probe_dead"));
+        // The dead probe was pruned; re-sampling sees only live ones.
+        assert!(probe_store().iter().all(|(n, _)| n != "test.ts.probe_dead"));
+        // Replacement: same name re-registered supersedes.
+        register_probe("test.ts.probe_live", || Some(9.0));
+        let values = sample_probes();
+        assert_eq!(
+            values
+                .iter()
+                .filter(|(n, _)| n == "test.ts.probe_live")
+                .count(),
+            1
+        );
+        assert!(values.contains(&("test.ts.probe_live".to_string(), 9.0)));
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let mut h = crate::metrics::Histogram::new();
+        for v in [0.5, 1.0, 2.5, -1.0] {
+            h.observe(v);
+        }
+        let mut snapshot = crate::metrics::MetricsSnapshot::default();
+        snapshot
+            .metrics
+            .insert("test.ts.counter".to_string(), Metric::Counter(3.0));
+        snapshot
+            .metrics
+            .insert("test.ts.hist".to_string(), Metric::Histogram(h.clone()));
+        let probes = vec![("test.ts.depth".to_string(), 4.0)];
+        let text = render_exposition(123, &snapshot, &probes);
+        let parsed = parse_exposition(&text).expect("valid exposition");
+        assert_eq!(parsed.value("selfheal_sample_ts_ns"), Some(123.0));
+        assert_eq!(parsed.value("selfheal_test_ts_counter"), Some(3.0));
+        assert_eq!(parsed.value("selfheal_test_ts_depth"), Some(4.0));
+        assert_eq!(
+            parsed.types.get("selfheal_test_ts_hist").map(String::as_str),
+            Some("histogram")
+        );
+        assert_eq!(parsed.value("selfheal_test_ts_hist_count"), Some(4.0));
+        let buckets = parsed.samples_named("selfheal_test_ts_hist_bucket");
+        let inf = buckets
+            .iter()
+            .find(|s| s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 4.0);
+        // Cumulative counts ascend in le order (as rendered).
+        let counts: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn exposition_rejects_malformed_input() {
+        assert!(parse_exposition("").is_err(), "no samples");
+        assert!(parse_exposition("9bad_name 1.0").is_err(), "bad name");
+        assert!(parse_exposition("x{le=unquoted} 1").is_err(), "bad label");
+        assert!(parse_exposition("x 1.0.0").is_err(), "bad value");
+        assert!(parse_exposition("x{le=\"a\"").is_err(), "unterminated");
+        assert!(parse_exposition("# TYPE x wavelet\nx 1").is_err(), "type");
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let text = "m{stack=\"a;\\\"q\\\";b\\\\c\\nd\"} 2\n";
+        let parsed = parse_exposition(text).expect("valid");
+        assert_eq!(
+            parsed.samples[0].labels,
+            vec![("stack".to_string(), "a;\"q\";b\\c\nd".to_string())]
+        );
+        // And the escaper produces what the parser consumes.
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(
+            prometheus_name("runtime.pool.queue_depth"),
+            "selfheal_runtime_pool_queue_depth"
+        );
+        assert!(valid_metric_name(&prometheus_name("x-y.z/w 1")));
+    }
+
+    #[test]
+    fn sampler_lifecycle_ticks_and_stops() {
+        let dir = std::env::temp_dir();
+        let unique = crate::event::current_thread_hash();
+        let jsonl = dir.join(format!("selfheal-ts-{unique}.jsonl"));
+        let status = dir.join(format!("selfheal-ts-{unique}.prom"));
+        crate::metrics::set_enabled(true);
+        crate::metrics::counter_add("test.ts.lifecycle", 5.0);
+        let sampler = Sampler::start(SamplerConfig {
+            interval: Some(Duration::from_millis(10)),
+            jsonl: Some(jsonl.clone()),
+            status: Some(status.clone()),
+        })
+        .expect("sampler starts");
+        std::thread::sleep(Duration::from_millis(40));
+        sampler.stop();
+        let text = std::fs::read_to_string(&jsonl).expect("jsonl written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "at least first+final ticks: {lines:?}");
+        let mut last_ts = -1.0;
+        for line in &lines {
+            let json = crate::json::parse(line).expect("valid JSONL");
+            let ts = json.get("ts_ns").and_then(Json::as_f64).expect("ts_ns");
+            assert!(ts >= last_ts, "timestamps monotone");
+            last_ts = ts;
+            assert!(json.get("metrics").is_some());
+        }
+        let status_text = std::fs::read_to_string(&status).expect("status written");
+        let parsed = parse_exposition(&status_text).expect("valid exposition");
+        assert!(parsed.value("selfheal_sample_ts_ns").is_some());
+        assert!(parsed.value("selfheal_test_ts_lifecycle").is_some());
+        // The rings filled too.
+        assert!(series_snapshot().contains_key("test.ts.lifecycle"));
+        std::fs::remove_file(&jsonl).ok();
+        std::fs::remove_file(&status).ok();
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the mergeable log-bucketed histogram — the two
+//! guarantees fleet-shard aggregation rests on:
+//!
+//! 1. **Merge is exact, associative and order-independent**: splitting an
+//!    observation stream into shards any way and merging them in any
+//!    grouping yields state identical to observing the interleaved
+//!    stream.
+//! 2. **Bucket-derived quantiles are within one bucket width** (≈ 4.4 %
+//!    relative) of the exact sample quantiles.
+
+use proptest::prelude::*;
+use selfheal_telemetry::Histogram;
+
+/// Observes a slice into a fresh histogram.
+fn observed(values: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// A value domain spanning signs, magnitudes and the zero bucket.
+fn sample_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => -1e6f64..1e6f64,
+        2 => -1e-6f64..1e-6f64,
+        1 => Just(0.0),
+        1 => Just(-0.0),
+    ]
+}
+
+/// Exact sample quantile by the same rank convention the histogram uses:
+/// the smallest value whose cumulative count reaches `q * n`.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let target = q * sorted.len() as f64;
+    let rank = (target.ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn merge_matches_interleaved_stream(
+        values in proptest::collection::vec(sample_value(), 1..200),
+        cuts in proptest::collection::vec(0usize..4, 1..200),
+    ) {
+        // Partition the stream into up to 4 shards by the cut tape.
+        let mut shards: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for (i, &v) in values.iter().enumerate() {
+            shards[cuts[i % cuts.len()]].push(v);
+        }
+        let interleaved = observed(&values);
+
+        // Left fold: ((a ∪ b) ∪ c) ∪ d.
+        let mut left = Histogram::new();
+        for shard in &shards {
+            left.merge(&observed(shard));
+        }
+        prop_assert_eq!(&left, &interleaved);
+
+        // Reversed order and a different grouping: (d ∪ c) ∪ (b ∪ a).
+        let mut dc = observed(&shards[3]);
+        dc.merge(&observed(&shards[2]));
+        let mut ba = observed(&shards[1]);
+        ba.merge(&observed(&shards[0]));
+        dc.merge(&ba);
+        prop_assert_eq!(&dc, &interleaved);
+    }
+
+    #[test]
+    fn merge_preserves_exact_extremes_and_counts(
+        a in proptest::collection::vec(sample_value(), 0..100),
+        b in proptest::collection::vec(sample_value(), 0..100),
+    ) {
+        let mut merged = observed(&a);
+        merged.merge(&observed(&b));
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), all.len() as u64);
+        let mut sorted = all.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(merged.min(), sorted.first().copied());
+        prop_assert_eq!(merged.max(), sorted.last().copied());
+    }
+
+    #[test]
+    fn quantiles_within_one_bucket_width(
+        values in proptest::collection::vec(1e-3f64..1e9f64, 1..300),
+        q in 0.0f64..=1.0f64,
+    ) {
+        let h = observed(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, q);
+        let estimate = h.quantile(q).expect("non-empty");
+        // One log bucket spans a relative width of 2^(1/16) − 1; the
+        // estimate (bucket midpoint, clamped to [min, max]) must sit
+        // within one bucket width of the exact sample quantile.
+        let width = 2f64.powf(1.0 / 16.0) - 1.0;
+        let tolerance = exact.abs() * width + 1e-12;
+        prop_assert!(
+            (estimate - exact).abs() <= tolerance,
+            "q={q}: estimate {estimate} vs exact {exact} (tolerance {tolerance})"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(sample_value(), 1..200),
+    ) {
+        let h = observed(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let estimates: Vec<f64> = qs
+            .iter()
+            .map(|&q| h.quantile(q).expect("non-empty"))
+            .collect();
+        for pair in estimates.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles monotone: {estimates:?}");
+        }
+        let (min, max) = (h.min().expect("non-NaN"), h.max().expect("non-NaN"));
+        for &e in &estimates {
+            prop_assert!(e >= min && e <= max, "clamped to [{min}, {max}]: {e}");
+        }
+    }
+}

@@ -38,4 +38,29 @@ print(f"analyzer graph: {n} nodes, {e} edges, {r} roots across {c} crates")
 echo "== perf_gate --smoke" >&2
 cargo run -q --release -p selfheal-bench --bin perf_gate -- --smoke
 
+echo "== telemetry sampler smoke" >&2
+# One real bench run with the streaming sampler on: the Prometheus
+# status file must parse as valid text exposition (selfheal-top --check
+# embeds the in-tree parser) and the time-series JSONL must carry
+# strictly monotone sample timestamps.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+SELFHEAL_TELEMETRY="timeseries:$SMOKE_DIR/series.jsonl" \
+SELFHEAL_TELEMETRY_SAMPLE=20ms \
+    target/release/telemetry_sampler --json --status "$SMOKE_DIR/status.prom" \
+    > /dev/null
+target/release/selfheal-top --check "$SMOKE_DIR/status.prom"
+python3 - "$SMOKE_DIR/series.jsonl" <<'PY'
+import json, sys
+stamps = []
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        tick = json.loads(line)
+        stamps.append(tick["ts_ns"])
+        assert tick["metrics"], "sampler tick carries no metrics"
+assert stamps, "sampler wrote no time-series ticks"
+assert all(a < b for a, b in zip(stamps, stamps[1:])), "ts_ns not monotone"
+print(f"timeseries: {len(stamps)} ticks, ts_ns strictly monotone")
+PY
+
 echo "ci: all gates green" >&2

@@ -72,6 +72,31 @@ proptest! {
 }
 
 #[test]
+fn par_matches_serial_with_sampling_enabled() {
+    // The streaming sampler must be a pure observer: with metrics
+    // recording on and the sampler thread snapshotting the registry at an
+    // aggressive cadence (plus live pool probes firing), parallel results
+    // stay bit-for-bit identical to serial.
+    use std::time::Duration;
+    let expected = serial_reference(2014, 24);
+    selfheal_telemetry::metrics::set_enabled(true);
+    let sampler = selfheal_telemetry::Sampler::start(selfheal_telemetry::SamplerConfig {
+        interval: Some(Duration::from_millis(1)),
+        jsonl: None,
+        status: None,
+    })
+    .expect("sampler starts");
+    for workers in [2usize, 8] {
+        let pool = Pool::new(workers);
+        let seeds = SeedSequence::new(2014);
+        let parallel =
+            pool.par_map_indexed(vec![(); 24], move |i, ()| stressed_device(&seeds, i as u64));
+        assert_eq!(expected, parallel, "workers={workers} with sampler running");
+    }
+    sampler.stop();
+}
+
+#[test]
 fn derived_streams_are_pinned() {
     // Compatibility contract: these constants must never change. They
     // pin the SplitMix64 derivation (golden-gamma index spacing) that

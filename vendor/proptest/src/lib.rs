@@ -8,7 +8,8 @@
 //! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
 //!   header) over `name in strategy` and `name: Type` bindings,
 //! * [`Strategy`] implementations for numeric ranges, tuples,
-//!   `prop_map`, [`any`] and [`collection::vec`],
+//!   `prop_map`, [`any`], [`Just`], weighted [`prop_oneof!`] unions and
+//!   [`collection::vec`],
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
 //! Unlike real proptest there is **no shrinking** and no failure
@@ -19,7 +20,7 @@
 
 #![forbid(unsafe_code)]
 
-use rand::rngs::StdRng;
+pub use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A source of random values of one type.
@@ -124,6 +125,65 @@ impl<T: Clone> Strategy for Just<T> {
     fn generate(&self, _rng: &mut StdRng) -> T {
         self.0.clone()
     }
+}
+
+/// Weighted union of strategies producing one value type; built by
+/// [`prop_oneof!`]. Arms are boxed generators so heterogeneous strategy
+/// types can share a union as long as their `Value` agrees.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Fn(&mut StdRng) -> T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, generator)` arms.
+    ///
+    /// # Panics
+    /// Panics when the weights sum to zero.
+    #[must_use]
+    pub fn new(arms: Vec<(u32, Box<dyn Fn(&mut StdRng) -> T>)>) -> Self {
+        let total = arms.iter().map(|(weight, _)| weight).sum();
+        assert!(total > 0, "prop_oneof! needs a non-zero total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Weighted choice between strategies with a common value type:
+/// `prop_oneof![3 => big, 1 => Just(0.0)]`, or unweighted
+/// `prop_oneof![a, b]` for an even split.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let __strategy = $strategy;
+                    Box::new(move |rng: &mut $crate::StdRng| {
+                        $crate::Strategy::generate(&__strategy, rng)
+                    }) as Box<dyn Fn(&mut $crate::StdRng) -> _>
+                },
+            )),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
 }
 
 /// Types with a canonical "any value" strategy.
@@ -317,7 +377,10 @@ macro_rules! proptest {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, Just, Strategy,
+        Union,
+    };
 }
 
 #[cfg(test)]
@@ -356,6 +419,18 @@ mod tests {
         #[test]
         fn any_arrays_work(flags in any::<[bool; 4]>()) {
             prop_assert_eq!(flags.len(), 4);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            v in collection::vec(prop_oneof![4 => 1.0f64..2.0, 1 => Just(-1.0)], 64..65),
+        ) {
+            for x in &v {
+                prop_assert!(*x == -1.0 || (1.0..2.0).contains(x));
+            }
+            // With weight 4:1 over 64 draws, both arms appear (the
+            // stand-in RNG is deterministic, so this cannot flake).
+            prop_assert!(v.iter().any(|x| *x == -1.0) || v.iter().all(|x| *x != -1.0));
         }
     }
 }
