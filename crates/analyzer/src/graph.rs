@@ -161,6 +161,12 @@ const ENV_FNS: [&str; 9] = [
     "var", "vars", "var_os", "args", "args_os", "current_dir", "temp_dir", "set_var", "remove_var",
 ];
 
+/// Socket-surface method calls that make a function io-tainted: the
+/// accept/read/write primitives the fleet transport funnels through its
+/// single trusted chokepoint. Matched only as method calls (`.name(`),
+/// so free functions with these names stay clean.
+const SOCKET_METHOD_SINKS: [&str; 3] = ["accept", "read_exact", "write_all"];
+
 /// Extracts one file's graph contribution from its lexed form.
 #[must_use]
 pub fn extract_file(rel: &std::path::Path, lexed: &LexedFile, ctx: &FileContext) -> FileGraph {
@@ -325,6 +331,17 @@ fn scan_sinks(
             || t.is_ident("TcpListener")
         {
             note(IO, t.text.clone(), t.line, &mut taint);
+        }
+        // Socket transfer methods (`.accept(` / `.read_exact(` /
+        // `.write_all(`): the network read/write surface itself, caught
+        // even through generic `impl Read`/`impl Write` parameters that
+        // never name a socket type.
+        if SOCKET_METHOD_SINKS.iter().any(|m| t.is_ident(m))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            note(IO, format!(".{}", t.text), t.line, &mut taint);
         }
         // Unseeded RNG.
         if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("OsRng") {

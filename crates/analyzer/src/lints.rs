@@ -52,18 +52,22 @@ impl FileContext {
 }
 
 /// Crates whose library code is held to the no-unwrap rule.
-const UNWRAP_GATED_CRATES: [&str; 4] = [
+const UNWRAP_GATED_CRATES: [&str; 5] = [
     "selfheal-bti",
     "selfheal-fpga",
     "selfheal",
     "selfheal-multicore",
+    "selfheal-fleet",
 ];
 
 /// Crates allowed to spawn OS threads directly: the execution runtime
-/// (which owns the worker pool) and the telemetry layer (whose sinks are
-/// thread-aware by design). Everyone else goes through the pool, which
-/// preserves determinism and keeps spans/metrics flowing.
-const THREAD_SPAWN_EXEMPT_CRATES: [&str; 2] = ["selfheal-runtime", "selfheal-telemetry"];
+/// (which owns the worker pool), the telemetry layer (whose sinks are
+/// thread-aware by design), and the fleet service (whose blocking
+/// worker-accept loop *is* its transport — fleet state still advances
+/// on the pool). Everyone else goes through the pool, which preserves
+/// determinism and keeps spans/metrics flowing.
+const THREAD_SPAWN_EXEMPT_CRATES: [&str; 3] =
+    ["selfheal-runtime", "selfheal-telemetry", "selfheal-fleet"];
 
 /// The selfheal-units newtypes (plus `Self` constructors excluded).
 const UNIT_TYPES: [&str; 17] = [

@@ -1,0 +1,371 @@
+//! Traffic storm against a live `selfheal-fleet` daemon.
+//!
+//! **Bench mode** (default): binds an in-process [`FleetServer`] on a
+//! loopback ephemeral port, pre-ages the fleet a few epochs so plans
+//! have real occupancy to chew on, then drives it from N client
+//! threads. Each client draws from its own [`SeedSequence`]-derived RNG:
+//! exponential inter-arrival gaps (a Poisson process at `--rate`
+//! requests/s) and a weighted request mix (plan 60 / predict 25 /
+//! report 13 / stats 2 percent). Round-trip latency is measured
+//! client-side per request; the manifest reports throughput plus
+//! p50/p99/p999, and the ledger tracks the time-like keys
+//! (`us_per_request`, `p50_us`, `p99_us`, `p999_us`).
+//!
+//! **Smoke mode** (`--smoke --connect ADDR [--shutdown]`): issues one
+//! request of each type against an already-running `fleetd` and checks
+//! each reply, exiting non-zero on any failure — the CI handshake.
+//!
+//! ```text
+//! fleet_storm --chips 100000 --clients 8 --requests 4000 --json
+//! fleet_storm --smoke --connect 127.0.0.1:7414 --shutdown
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use selfheal::RejuvenationTechnique;
+use selfheal_bench::BenchRun;
+use selfheal_fleet::{
+    FleetClient, FleetConfig, FleetDaemon, FleetServer, Request, Response, ServerConfig,
+};
+use selfheal_runtime::{ResultCache, SeedSequence};
+use selfheal_units::{DutyCycle, Seconds};
+
+/// Epochs of aging applied before the storm starts: plans against a
+/// pristine fleet all short-circuit on zero occupancy, which is not the
+/// workload the ledger should track.
+const WARMUP_EPOCHS: u64 = 3;
+
+struct Options {
+    chips: usize,
+    shards: usize,
+    seed: u64,
+    traps: f64,
+    clients: usize,
+    requests: u64,
+    rate: f64,
+    smoke: bool,
+    connect: Option<SocketAddr>,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            chips: 100_000,
+            shards: 64,
+            seed: 2014,
+            traps: 8.0,
+            clients: 8,
+            requests: 4_000,
+            rate: 2_000.0,
+            smoke: false,
+            connect: None,
+            shutdown: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: fleet_storm [--chips N] [--shards N] [--seed N] [--traps MEAN]\n\
+                     \x20                  [--clients N] [--requests N] [--rate HZ] [--json]\n\
+                     \x20      fleet_storm --smoke --connect HOST:PORT [--shutdown]";
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--chips" => opts.chips = parse(&value("--chips")?)?,
+            "--shards" => opts.shards = parse(&value("--shards")?)?,
+            "--seed" => opts.seed = parse(&value("--seed")?)?,
+            "--traps" => opts.traps = parse(&value("--traps")?)?,
+            "--clients" => opts.clients = parse(&value("--clients")?)?,
+            "--requests" => opts.requests = parse(&value("--requests")?)?,
+            "--rate" => opts.rate = parse(&value("--rate")?)?,
+            "--smoke" => opts.smoke = true,
+            "--connect" => {
+                let raw = value("--connect")?;
+                opts.connect = Some(raw.parse().map_err(|_| format!("bad address {raw}"))?);
+            }
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            // BenchRun's common flags (--json, --threads, --out, ...).
+            "--json" | "--no-cache" => {}
+            "--out" | "--trace" | "--folded" | "--status" | "--threads" => {
+                let _ = args.next();
+            }
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    if opts.clients == 0 || opts.requests == 0 || !(opts.rate > 0.0) {
+        return Err("--clients, --requests and --rate must be positive".to_string());
+    }
+    if opts.smoke && opts.connect.is_none() {
+        return Err(format!("--smoke needs --connect\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+fn parse<T: std::str::FromStr>(raw: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("bad number {raw}"))
+}
+
+fn fleet_config(opts: &Options) -> FleetConfig {
+    let mut config = FleetConfig::default();
+    config.chips = opts.chips;
+    config.shards = opts.shards.min(opts.chips.max(1));
+    config.seed = opts.seed;
+    config.trap_params.mean_trap_count = opts.traps;
+    config
+}
+
+/// One storm client's lifetime: a Poisson request stream with a
+/// weighted mix, returning every round-trip latency it observed.
+fn storm_client(
+    addr: SocketAddr,
+    chips: u64,
+    requests: u64,
+    rate: f64,
+    mut rng: rand::rngs::StdRng,
+) -> Result<Vec<Duration>, String> {
+    let mut client = FleetClient::connect(addr).map_err(|err| format!("connect: {err}"))?;
+    let mut latencies = Vec::with_capacity(usize::try_from(requests).unwrap_or(0));
+    for _ in 0..requests {
+        // Exponential inter-arrival gap: -ln(U)/rate seconds.
+        let uniform: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap = Duration::from_secs_f64(-uniform.ln() / rate);
+        std::thread::sleep(gap);
+
+        let chip = rng.gen_range(0..chips);
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        let request = if roll < 0.60 {
+            Request::Plan {
+                chip,
+                technique: RejuvenationTechnique::Combined,
+                period: None,
+                horizon: None,
+            }
+        } else if roll < 0.85 {
+            Request::Predict {
+                chip,
+                dt: Seconds::new(86_400.0),
+            }
+        } else if roll < 0.98 {
+            Request::Report {
+                chip,
+                duty: DutyCycle::new(rng.gen_range(0.05..0.95)),
+            }
+        } else {
+            Request::Stats
+        };
+
+        let started = Instant::now();
+        match client.call(&request) {
+            Ok(Response::Error { code, message }) => {
+                return Err(format!("server error {}: {message}", code.as_str()));
+            }
+            Ok(_) => latencies.push(started.elapsed()),
+            Err(err) => return Err(format!("call failed: {err}")),
+        }
+    }
+    Ok(latencies)
+}
+
+/// The `q`-th quantile (0..=1) of an already-sorted latency sample, in
+/// microseconds (nearest-rank method).
+fn percentile_us(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e6
+}
+
+#[allow(clippy::too_many_lines)]
+fn bench(opts: &Options) -> Result<(), String> {
+    let mut run = BenchRun::start("fleet_storm");
+    run.say("Fleet storm: seeded Poisson traffic against a live fleet daemon\n");
+
+    let config = fleet_config(opts);
+    config.validate().map_err(|err| format!("config: {err}"))?;
+    let chips = u64::try_from(config.chips).map_err(|_| "too many chips".to_string())?;
+
+    let mut daemon = {
+        let _phase = run.phase("build");
+        FleetDaemon::new(config, ResultCache::disabled(), 0)
+    };
+    {
+        let _phase = run.phase("warmup");
+        for _ in 0..WARMUP_EPOCHS {
+            daemon.advance_epoch();
+        }
+    }
+    let traps = daemon.state().trap_count();
+
+    let server = FleetServer::bind(
+        daemon,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: opts.clients,
+            epoch_interval: None,
+            max_epochs: None,
+        },
+    )
+    .map_err(|err| format!("bind: {err}"))?;
+    let addr = server.addr();
+    // The server must live on a real OS thread: it blocks on its own
+    // accept loop for the whole storm, which would starve (and be
+    // starved by) the deterministic pool the shards advance on.
+    // analyzer: allow(raw-thread-spawn)
+    let server = std::thread::spawn(move || server.run());
+
+    let per_client = opts.requests / opts.clients as u64;
+    let seeds = SeedSequence::new(opts.seed ^ 0x5707_2017);
+    let storm_started = Instant::now();
+    let clients: Vec<_> = {
+        let _phase = run.phase("storm");
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|index| {
+                let rng = seeds.rng(index as u64);
+                let rate = opts.rate;
+                std::thread::Builder::new()
+                    .name(format!("storm-client-{index}"))
+                    .spawn(move || storm_client(addr, chips, per_client, rate, rng))
+                    .map_err(|err| format!("spawn client {index}: {err}"))
+            })
+            .collect::<Result<_, _>>()?;
+        handles
+            .into_iter()
+            .map(|handle| handle.join().map_err(|_| "client panicked".to_string())?)
+            .collect::<Result<_, _>>()?
+    };
+    let wall = storm_started.elapsed();
+
+    // Graceful shutdown before the numbers: the summary cross-checks
+    // that every latency we measured was a request the server counted.
+    let mut control = FleetClient::connect(addr).map_err(|err| format!("connect: {err}"))?;
+    match control.call(&Request::Shutdown) {
+        Ok(Response::Bye) => {}
+        other => return Err(format!("shutdown: expected bye, got {other:?}")),
+    }
+    let summary = server.join().map_err(|_| "server panicked".to_string())?;
+
+    let mut latencies: Vec<Duration> = clients.into_iter().flatten().collect();
+    latencies.sort_unstable();
+    let served = latencies.len();
+    if served == 0 {
+        return Err("no requests completed".to_string());
+    }
+    if summary.requests < served as u64 {
+        return Err(format!(
+            "server counted {} requests but clients measured {served}",
+            summary.requests
+        ));
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    let served_f = served as f64;
+    let total: Duration = latencies.iter().sum();
+    let us_per_request = total.as_secs_f64() * 1e6 / served_f;
+    let requests_per_s = served_f / wall.as_secs_f64();
+    let p50 = percentile_us(&latencies, 0.50);
+    let p99 = percentile_us(&latencies, 0.99);
+    let p999 = percentile_us(&latencies, 0.999);
+
+    run.say(format!(
+        "chips={chips} traps={traps} clients={} rate={}/s requests={served}\n\
+         wall:       {:8.1} ms  ({requests_per_s:.0} req/s)\n\
+         latency:    {us_per_request:8.1} µs mean\n\
+         p50/p99/p999: {p50:.1} / {p99:.1} / {p999:.1} µs\n\
+         fleet digest: {:016x}",
+        opts.clients,
+        opts.rate,
+        wall.as_secs_f64() * 1e3,
+        summary.final_state_digest,
+    ));
+    run.value("us_per_request", us_per_request);
+    run.value("p50_us", p50);
+    run.value("p99_us", p99);
+    run.value("p999_us", p999);
+    run.value("requests_per_s", requests_per_s);
+    run.finish(&format!(
+        "chips={chips} traps_mean={} shards={} seed={} clients={} requests={} rate={}",
+        opts.traps, opts.shards, opts.seed, opts.clients, opts.requests, opts.rate
+    ));
+    Ok(())
+}
+
+/// One request of each type against a running daemon; any unexpected
+/// reply is a failure. The CI handshake.
+fn smoke(addr: SocketAddr, shutdown: bool) -> Result<(), String> {
+    let mut client = FleetClient::connect(addr).map_err(|err| format!("connect: {err}"))?;
+    let mut call = |request: &Request| {
+        client
+            .call(request)
+            .map_err(|err| format!("{:?}: {err}", request.kind()))
+    };
+
+    match call(&Request::Report {
+        chip: 0,
+        duty: DutyCycle::new(0.5),
+    })? {
+        Response::Report { chip: 0, .. } => println!("fleet_storm: report ok"),
+        other => return Err(format!("report: unexpected {other:?}")),
+    }
+    match call(&Request::Plan {
+        chip: 0,
+        technique: RejuvenationTechnique::Combined,
+        period: None,
+        horizon: None,
+    })? {
+        Response::Plan { chip: 0, .. } => println!("fleet_storm: plan ok"),
+        other => return Err(format!("plan: unexpected {other:?}")),
+    }
+    match call(&Request::Predict {
+        chip: 0,
+        dt: Seconds::new(86_400.0),
+    })? {
+        Response::Predict { chip: 0, .. } => println!("fleet_storm: predict ok"),
+        other => return Err(format!("predict: unexpected {other:?}")),
+    }
+    match call(&Request::Stats)? {
+        Response::Stats(stats) => println!(
+            "fleet_storm: stats ok (chips={} epoch={} digest={:016x})",
+            stats.chips, stats.epoch, stats.state_digest
+        ),
+        other => return Err(format!("stats: unexpected {other:?}")),
+    }
+    if shutdown {
+        match call(&Request::Shutdown)? {
+            Response::Bye => println!("fleet_storm: shutdown ok"),
+            other => return Err(format!("shutdown: unexpected {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_options() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("fleet_storm: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if opts.smoke {
+        smoke(opts.connect.expect("checked in parse_options"), opts.shutdown)
+    } else {
+        bench(&opts)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fleet_storm: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

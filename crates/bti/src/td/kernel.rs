@@ -335,6 +335,53 @@ impl TrapBank {
         }
     }
 
+    /// Advances the traps in `range` by `dt` under pre-evaluated rates,
+    /// leaving every trap outside the range untouched.
+    ///
+    /// This is the shard-level entry point: a fleet shard stores many
+    /// chips' traps contiguously in one bank and advances each chip's
+    /// slice under that chip's own condition. The per-trap arithmetic is
+    /// exactly [`advance_all`](TrapBank::advance_all)'s, so advancing a
+    /// bank chip-range by chip-range under one shared condition is
+    /// bit-identical to one whole-bank advance — except that the
+    /// [`AdvanceStats`] sums cover only the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` ends past the bank.
+    pub fn advance_range(
+        &mut self,
+        range: std::ops::Range<usize>,
+        rates: &PhaseRates,
+        dt: Seconds,
+    ) -> AdvanceStats {
+        assert!(range.end <= self.occupancy.len(), "range out of bounds");
+        let step_enabled = !dt.is_zero_or_negative();
+        let neg_dt = -dt.get();
+        // -0.0 starts for `Iterator::sum` parity — see `advance_all`.
+        let mut occupied_before = -0.0;
+        let mut occupied_after = -0.0;
+        for i in range {
+            let p = self.occupancy[i];
+            occupied_before += p;
+            if step_enabled {
+                let (p_inf, tau) = rates.relaxation(self.tau_c0[i], self.tau_e[i]);
+                if !tau.is_infinite() {
+                    let decay = (neg_dt / tau).exp();
+                    let next = (p_inf + (p - p_inf) * decay).clamp(0.0, 1.0);
+                    self.occupancy[i] = next;
+                    occupied_after += next;
+                    continue;
+                }
+            }
+            occupied_after += p;
+        }
+        AdvanceStats {
+            occupied_before,
+            occupied_after,
+        }
+    }
+
     /// All three ensemble reductions in one ordered pass.
     ///
     /// Replaces the three separate iterator scans (`delta_vth`,
@@ -360,6 +407,57 @@ impl TrapBank {
             permanent_delta_vth: Millivolts::new(permanent_delta_vth_mv),
             expected_occupied,
         }
+    }
+
+    /// The [`summary`](TrapBank::summary) reductions restricted to the
+    /// traps in `range` — per-chip aggregates out of a shard bank
+    /// without materializing the chip's traps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` ends past the bank.
+    #[must_use]
+    pub fn summary_range(&self, range: std::ops::Range<usize>) -> BankSummary {
+        assert!(range.end <= self.occupancy.len(), "range out of bounds");
+        // -0.0 starts for `Iterator::sum` parity — see `advance_all`.
+        let mut delta_vth_mv = -0.0;
+        let mut permanent_delta_vth_mv = -0.0;
+        let mut expected_occupied = -0.0;
+        for i in range {
+            let contribution = self.occupancy[i] * self.step_mv[i];
+            delta_vth_mv += contribution;
+            if self.permanent[i] {
+                permanent_delta_vth_mv += contribution;
+            }
+            expected_occupied += self.occupancy[i];
+        }
+        BankSummary {
+            delta_vth: Millivolts::new(delta_vth_mv),
+            permanent_delta_vth: Millivolts::new(permanent_delta_vth_mv),
+            expected_occupied,
+        }
+    }
+
+    /// Raw occupancy slice, in trap order — the checkpointable mutable
+    /// state of a bank (everything else is fixed at sampling time).
+    #[must_use]
+    pub fn occupancies(&self) -> &[f64] {
+        &self.occupancy
+    }
+
+    /// Overwrites the bank's occupancies wholesale (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lengths disagree — a checkpoint for a different
+    /// bank must never be spliced in silently.
+    pub fn restore_occupancies(&mut self, occupancies: &[f64]) {
+        assert_eq!(
+            occupancies.len(),
+            self.occupancy.len(),
+            "occupancy snapshot length must match the bank"
+        );
+        self.occupancy.copy_from_slice(occupancies);
     }
 
     /// Empties every trap (fresh-device state).
@@ -508,6 +606,73 @@ mod tests {
         assert_eq!(summary.delta_vth.get().to_bits(), delta.to_bits());
         assert_eq!(summary.permanent_delta_vth.get().to_bits(), permanent.to_bits());
         assert_eq!(summary.expected_occupied.to_bits(), occupied.to_bits());
+    }
+
+    #[test]
+    fn ranged_advance_composes_to_whole_bank_advance() {
+        let traps: Vec<Trap> = (0..3).flat_map(|_| sample_traps()).collect();
+        let mut whole = TrapBank::from_traps(&traps);
+        let mut ranged = whole.clone();
+        let rates = PhaseRates::for_condition(stress());
+        let dt = Seconds::new(3600.0);
+        let stats = whole.advance_all(&rates, dt);
+        let mut before = -0.0;
+        let mut after = -0.0;
+        for chip in 0..3 {
+            let s = ranged.advance_range(chip * 3..(chip + 1) * 3, &rates, dt);
+            before += s.occupied_before;
+            after += s.occupied_after;
+        }
+        assert_eq!(whole, ranged);
+        // Chunked sums re-associate, so compare to a tolerance; the
+        // occupancies themselves are bit-identical (asserted above).
+        assert!((stats.occupied_before - before).abs() < 1e-12);
+        assert!((stats.occupied_after - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranged_advance_leaves_outside_traps_untouched() {
+        let mut bank = TrapBank::from_traps(&sample_traps());
+        let rates = PhaseRates::for_condition(stress());
+        bank.advance_all(&rates, Seconds::new(3600.0));
+        let snapshot = bank.clone();
+        bank.advance_range(1..2, &rates, Seconds::new(600.0));
+        for i in [0usize, 2] {
+            let got = bank.get(i).expect("in range").occupancy();
+            let want = snapshot.get(i).expect("in range").occupancy();
+            assert_eq!(got.to_bits(), want.to_bits(), "trap {i} moved");
+        }
+    }
+
+    #[test]
+    fn summary_range_matches_sub_bank_summary() {
+        let traps = sample_traps();
+        let mut bank = TrapBank::from_traps(&traps);
+        bank.advance_all(&PhaseRates::for_condition(stress()), Seconds::new(3600.0));
+        let sub = TrapBank::from_traps(&bank.iter().skip(1).collect::<Vec<_>>());
+        let want = sub.summary();
+        let got = bank.summary_range(1..bank.len());
+        assert_eq!(got.delta_vth.get().to_bits(), want.delta_vth.get().to_bits());
+        assert_eq!(got.expected_occupied.to_bits(), want.expected_occupied.to_bits());
+    }
+
+    #[test]
+    fn occupancy_snapshot_round_trips() {
+        let mut bank = TrapBank::from_traps(&sample_traps());
+        bank.advance_all(&PhaseRates::for_condition(stress()), Seconds::new(3600.0));
+        let snapshot: Vec<f64> = bank.occupancies().to_vec();
+        let aged = bank.clone();
+        bank.reset();
+        assert_ne!(bank, aged);
+        bank.restore_occupancies(&snapshot);
+        assert_eq!(bank, aged);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupancy snapshot length")]
+    fn mismatched_snapshot_is_rejected() {
+        let mut bank = TrapBank::from_traps(&sample_traps());
+        bank.restore_occupancies(&[0.5]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use selfheal_bti::analytic::{AnalyticBti, CycleModel, RecoveryModel, StressModel};
+use selfheal_bti::td::{PhaseRates, TrapBank};
 use selfheal_bti::{DeviceCondition, Environment};
 use selfheal_units::{float, Fraction, Millivolts, Ratio, Seconds};
 
@@ -164,6 +165,85 @@ impl SchedulePlanner {
         Some(self.plan_for(alpha, technique, period, horizon))
     }
 
+    /// The margin still unspent after `consumed` mV of shift, or `None`
+    /// once the budget is exhausted (the chip is already out of spec —
+    /// no rhythm can plan its way back below a budget it has crossed).
+    #[must_use]
+    pub fn remaining_margin(&self, consumed: Millivolts) -> Option<Millivolts> {
+        let left = self.margin.get() - consumed.get();
+        (left > 0.0).then(|| Millivolts::new(left))
+    }
+
+    /// [`plan`](Self::plan) against the budget that remains after the
+    /// chip has already consumed `consumed` mV of its margin.
+    ///
+    /// This is the service-path entry point: a fleet daemon holds live
+    /// aging state, so the question is never "what rhythm holds a fresh
+    /// chip inside the budget" but "what rhythm holds *this worn chip*
+    /// inside what is left". Returns `None` when the budget is already
+    /// spent or no rhythm in the search window can hold the remainder.
+    #[must_use]
+    pub fn plan_with_consumed(
+        &self,
+        consumed: Millivolts,
+        technique: RejuvenationTechnique,
+        period: Seconds,
+        horizon: Seconds,
+    ) -> Option<RejuvenationPlan> {
+        let remaining = self.remaining_margin(consumed)?;
+        SchedulePlanner {
+            margin: remaining,
+            ..self.clone()
+        }
+        .plan(technique, period, horizon)
+    }
+
+    /// [`plan_with_consumed`](Self::plan_with_consumed) reading the
+    /// consumed margin straight off a live [`TrapBank`] view: `range` is
+    /// the chip's trap slice inside a (possibly shard-sized) bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` ends past the bank (as
+    /// [`TrapBank::summary_range`] does).
+    #[must_use]
+    pub fn plan_from_bank(
+        &self,
+        bank: &TrapBank,
+        range: std::ops::Range<usize>,
+        technique: RejuvenationTechnique,
+        period: Seconds,
+        horizon: Seconds,
+    ) -> Option<RejuvenationPlan> {
+        self.plan_with_consumed(
+            bank.summary_range(range).delta_vth,
+            technique,
+            period,
+            horizon,
+        )
+    }
+
+    /// The shift a chip's trap slice would reach after running `dt`
+    /// under `cond`, projected forward from the live bank state (the
+    /// bank itself is untouched — the projection advances a copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` ends past the bank.
+    #[must_use]
+    pub fn predicted_shift_from_bank(
+        &self,
+        bank: &TrapBank,
+        range: std::ops::Range<usize>,
+        cond: DeviceCondition,
+        dt: Seconds,
+    ) -> Millivolts {
+        let traps: Vec<_> = range.filter_map(|i| bank.get(i)).collect();
+        let mut projection = TrapBank::from_traps(&traps);
+        projection.advance_all(&PhaseRates::for_condition(cond), dt);
+        projection.summary().delta_vth
+    }
+
     fn plan_for(
         &self,
         alpha: Ratio,
@@ -291,5 +371,76 @@ mod tests {
     #[should_panic(expected = "margin must be positive")]
     fn rejects_nonpositive_margin() {
         let _ = planner(0.0);
+    }
+
+    #[test]
+    fn consumed_margin_shrinks_the_plan() {
+        let p = planner(26.0);
+        let fresh = p
+            .plan(RejuvenationTechnique::Combined, day_period(), year())
+            .expect("fresh chip plans");
+        let worn = p
+            .plan_with_consumed(
+                Millivolts::new(3.0),
+                RejuvenationTechnique::Combined,
+                day_period(),
+                year(),
+            )
+            .expect("3 mV of wear still leaves a feasible budget");
+        assert!(
+            worn.alpha.get() < fresh.alpha.get(),
+            "a worn chip must sleep more: worn α {} vs fresh α {}",
+            worn.alpha.get(),
+            fresh.alpha.get()
+        );
+        // A chip past its whole budget cannot plan at all.
+        assert!(p
+            .plan_with_consumed(
+                Millivolts::new(26.0),
+                RejuvenationTechnique::Combined,
+                day_period(),
+                year()
+            )
+            .is_none());
+        assert_eq!(p.remaining_margin(Millivolts::new(30.0)), None);
+    }
+
+    #[test]
+    fn bank_views_agree_with_scalar_entry_points() {
+        use rand::SeedableRng;
+        use selfheal_bti::td::{TrapEnsemble, TrapEnsembleParams};
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let device = TrapEnsemble::sample(&TrapEnsembleParams::default(), &mut rng);
+        let bank = device.bank().clone();
+        let p = planner(26.0);
+        let via_bank = p.plan_from_bank(
+            &bank,
+            0..bank.len(),
+            RejuvenationTechnique::Combined,
+            day_period(),
+            year(),
+        );
+        let via_consumed = p.plan_with_consumed(
+            bank.summary_range(0..bank.len()).delta_vth,
+            RejuvenationTechnique::Combined,
+            day_period(),
+            year(),
+        );
+        assert_eq!(via_bank, via_consumed);
+
+        // The projection advances a copy: the bank itself must not move,
+        // and the projected shift matches advancing the slice directly.
+        let cond = DeviceCondition::dc_stress(Environment::new(
+            Volts::new(1.2),
+            Celsius::new(90.0),
+        ));
+        let dt: Seconds = Hours::new(24.0).into();
+        let before = bank.clone();
+        let projected = p.predicted_shift_from_bank(&bank, 0..bank.len(), cond, dt);
+        assert_eq!(bank, before, "projection must not mutate the live bank");
+        let mut direct = device.clone();
+        direct.advance(cond, dt);
+        assert_eq!(projected.get().to_bits(), direct.delta_vth().get().to_bits());
     }
 }

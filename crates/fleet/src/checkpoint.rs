@@ -1,0 +1,309 @@
+//! Bit-exact checkpoint/resume through the content-addressed cache.
+//!
+//! A checkpoint stores only what a seed rebuild cannot regenerate: the
+//! occupancy vector of every shard bank, every reported duty cycle, the
+//! epoch counter and the mutation-digest chain. Trap constants (τ
+//! values, step sizes, permanence) are *not* stored — they come back
+//! bit-identically from [`FleetConfig::seed`], which keeps a 100k-chip
+//! snapshot at one `f64` per trap instead of six.
+//!
+//! Storage uses [`ResultCache::store_record`]/[`ResultCache::load_record`] (the
+//! checkpoint-store entry points, not the memo table): a *head* record
+//! under a per-config key names the latest epoch, and each epoch's
+//! snapshot lives under a key that includes the mutation digest, so a
+//! resumed daemon can only ever load a snapshot produced by the exact
+//! request history it claims.
+
+use selfheal_bti::td::KERNEL_VERSION;
+use selfheal_runtime::{CacheRecord, ResultCache};
+use selfheal_telemetry::Json;
+
+use crate::config::FleetConfig;
+use crate::state::FleetState;
+
+/// Cache namespace for fleet checkpoints.
+pub const CHECKPOINT_NAMESPACE: &str = "fleet-checkpoint";
+/// Checkpoint format version (bumped on layout changes; the kernel
+/// version rides in the key so kernel changes also invalidate).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The latest-checkpoint pointer for one fleet configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHead {
+    /// Epoch of the newest snapshot.
+    pub epoch: u64,
+    /// That snapshot's state digest (also part of its cache key).
+    pub state_digest: u64,
+}
+
+/// A full mutable-state snapshot of a fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    /// Completed epochs at capture time.
+    pub epoch: u64,
+    /// The mutation-digest chain at capture time.
+    pub mutation_digest: u64,
+    /// [`FleetState::state_digest`] at capture time, re-verified after
+    /// restore.
+    pub state_digest: u64,
+    /// Per-shard occupancy vectors, in shard order.
+    pub occupancies: Vec<Vec<f64>>,
+    /// Per-shard reported duty cycles, in chip order.
+    pub duties: Vec<Vec<f64>>,
+}
+
+impl FleetCheckpoint {
+    /// Captures the mutable state of `fleet`.
+    #[must_use]
+    pub fn capture(fleet: &FleetState) -> FleetCheckpoint {
+        FleetCheckpoint {
+            epoch: fleet.epoch(),
+            mutation_digest: fleet.mutation_digest(),
+            state_digest: fleet.state_digest(),
+            occupancies: fleet
+                .shards()
+                .iter()
+                .map(|s| s.bank.occupancies().to_vec())
+                .collect(),
+            duties: fleet
+                .shards()
+                .iter()
+                .map(|s| s.chips.iter().map(|c| c.duty.get()).collect())
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a live fleet: seed-rebuild from `config`, overlay the
+    /// snapshot, then verify the recorded state digest. `None` on any
+    /// shape or digest mismatch (the snapshot belongs to a different
+    /// configuration or a different history).
+    #[must_use]
+    pub fn restore(&self, config: FleetConfig) -> Option<FleetState> {
+        let mut fleet = FleetState::build(config);
+        if fleet.shards().len() != self.occupancies.len()
+            || fleet.shards().len() != self.duties.len()
+        {
+            return None;
+        }
+        for ((shard, occ), duty) in fleet
+            .shards()
+            .iter()
+            .zip(&self.occupancies)
+            .zip(&self.duties)
+        {
+            if shard.bank.len() != occ.len() || shard.chips.len() != duty.len() {
+                return None;
+            }
+        }
+        fleet.overlay(self.epoch, self.mutation_digest, &self.occupancies, &self.duties);
+        (fleet.state_digest() == self.state_digest).then_some(fleet)
+    }
+}
+
+/// Writes `fleet`'s snapshot and advances the head pointer. Returns
+/// `false` when the cache is disabled (nothing written).
+pub fn save(cache: &ResultCache, fleet: &FleetState) -> bool {
+    if !cache.is_active() {
+        return false;
+    }
+    let snapshot = FleetCheckpoint::capture(fleet);
+    let head = CheckpointHead {
+        epoch: snapshot.epoch,
+        state_digest: snapshot.state_digest,
+    };
+    cache.store_record(
+        CHECKPOINT_NAMESPACE,
+        CHECKPOINT_VERSION,
+        &snapshot_key(fleet.config(), head.epoch, head.state_digest),
+        &snapshot,
+    );
+    cache.store_record(
+        CHECKPOINT_NAMESPACE,
+        CHECKPOINT_VERSION,
+        &head_key(fleet.config()),
+        &head,
+    );
+    true
+}
+
+/// Loads the newest snapshot for `config`, if one exists.
+#[must_use]
+pub fn load_latest(cache: &ResultCache, config: &FleetConfig) -> Option<FleetCheckpoint> {
+    let head: CheckpointHead =
+        cache.load_record(CHECKPOINT_NAMESPACE, CHECKPOINT_VERSION, &head_key(config))?;
+    cache.load_record(
+        CHECKPOINT_NAMESPACE,
+        CHECKPOINT_VERSION,
+        &snapshot_key(config, head.epoch, head.state_digest),
+    )
+}
+
+/// Resumes a fleet from its newest checkpoint, or `None` when no valid
+/// snapshot exists (caller falls back to a fresh build).
+#[must_use]
+pub fn resume(cache: &ResultCache, config: &FleetConfig) -> Option<FleetState> {
+    load_latest(cache, config)?.restore(config.clone())
+}
+
+/// The per-config key prefix. Includes the kernel version: a kernel
+/// change invalidates every stored occupancy trajectory.
+fn base_key(config: &FleetConfig) -> String {
+    format!("{}|k{KERNEL_VERSION}", config.cache_key())
+}
+
+fn head_key(config: &FleetConfig) -> String {
+    format!("{}|head", base_key(config))
+}
+
+fn snapshot_key(config: &FleetConfig, epoch: u64, state_digest: u64) -> String {
+    format!("{}|epoch={epoch}|state={state_digest:016x}", base_key(config))
+}
+
+fn u64_hex(value: u64) -> Json {
+    Json::String(format!("{value:016x}"))
+}
+
+fn hex_u64(json: &Json) -> Option<u64> {
+    u64::from_str_radix(json.as_str()?, 16).ok()
+}
+
+fn f64_vec(values: &[f64]) -> Json {
+    Json::Array(values.iter().map(|v| Json::Number(*v)).collect())
+}
+
+fn vec_f64(json: &Json) -> Option<Vec<f64>> {
+    json.as_array()?.iter().map(Json::as_f64).collect()
+}
+
+impl CacheRecord for CheckpointHead {
+    fn to_cache_json(&self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        Json::object(vec![
+            ("epoch".into(), Json::Number(self.epoch as f64)),
+            ("state_digest".into(), u64_hex(self.state_digest)),
+        ])
+    }
+
+    fn from_cache_json(json: &Json) -> Option<Self> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Some(CheckpointHead {
+            epoch: json.get("epoch")?.as_f64()? as u64,
+            state_digest: hex_u64(json.get("state_digest")?)?,
+        })
+    }
+}
+
+impl CacheRecord for FleetCheckpoint {
+    fn to_cache_json(&self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        Json::object(vec![
+            ("epoch".into(), Json::Number(self.epoch as f64)),
+            ("mutation_digest".into(), u64_hex(self.mutation_digest)),
+            ("state_digest".into(), u64_hex(self.state_digest)),
+            (
+                "occupancies".into(),
+                Json::Array(self.occupancies.iter().map(|s| f64_vec(s)).collect()),
+            ),
+            (
+                "duties".into(),
+                Json::Array(self.duties.iter().map(|s| f64_vec(s)).collect()),
+            ),
+        ])
+    }
+
+    fn from_cache_json(json: &Json) -> Option<Self> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Some(FleetCheckpoint {
+            epoch: json.get("epoch")?.as_f64()? as u64,
+            mutation_digest: hex_u64(json.get("mutation_digest")?)?,
+            state_digest: hex_u64(json.get("state_digest")?)?,
+            occupancies: json
+                .get("occupancies")?
+                .as_array()?
+                .iter()
+                .map(vec_f64)
+                .collect::<Option<Vec<_>>>()?,
+            duties: json
+                .get("duties")?
+                .as_array()?
+                .iter()
+                .map(vec_f64)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selfheal_units::DutyCycle;
+
+    fn tiny_config(seed: u64) -> FleetConfig {
+        let mut config = FleetConfig::default();
+        config.chips = 9;
+        config.shards = 2;
+        config.seed = seed;
+        config.trap_params.mean_trap_count = 5.0;
+        config
+    }
+
+    fn scratch_cache(tag: &str) -> ResultCache {
+        let root = std::env::temp_dir().join(format!(
+            "selfheal-fleet-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        ResultCache::at(root)
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let mut fleet = FleetState::build(tiny_config(3));
+        fleet.advance_epoch();
+        assert!(fleet.fold_report(2, DutyCycle::new(0.25)));
+        fleet.advance_epoch();
+        let snapshot = FleetCheckpoint::capture(&fleet);
+        let json = snapshot.to_cache_json();
+        let reparsed = match FleetCheckpoint::from_cache_json(&json) {
+            Some(ck) => ck,
+            None => panic!("checkpoint JSON must round-trip"),
+        };
+        assert_eq!(reparsed, snapshot);
+        let restored = match reparsed.restore(tiny_config(3)) {
+            Some(fleet) => fleet,
+            None => panic!("restore must succeed for the same config"),
+        };
+        assert_eq!(restored.state_digest(), fleet.state_digest());
+        assert_eq!(restored.epoch(), fleet.epoch());
+    }
+
+    #[test]
+    fn restore_rejects_a_different_config() {
+        let mut fleet = FleetState::build(tiny_config(3));
+        fleet.advance_epoch();
+        let snapshot = FleetCheckpoint::capture(&fleet);
+        assert!(snapshot.restore(tiny_config(4)).is_none());
+    }
+
+    #[test]
+    fn save_resume_round_trips_through_the_cache() {
+        let cache = scratch_cache("roundtrip");
+        let config = tiny_config(5);
+        let mut fleet = FleetState::build(config.clone());
+        fleet.advance_epoch();
+        assert!(save(&cache, &fleet));
+        fleet.fold_report(0, DutyCycle::new(0.5));
+        fleet.advance_epoch();
+        assert!(save(&cache, &fleet));
+        let resumed = match resume(&cache, &config) {
+            Some(fleet) => fleet,
+            None => panic!("resume must find the saved head"),
+        };
+        assert_eq!(resumed.epoch(), 2);
+        assert_eq!(resumed.state_digest(), fleet.state_digest());
+        // A different seed has no checkpoints at all.
+        assert!(resume(&cache, &tiny_config(6)).is_none());
+        // A disabled cache stores nothing.
+        assert!(!save(&ResultCache::disabled(), &fleet));
+    }
+}

@@ -1,0 +1,40 @@
+//! A minimal blocking client for the fleet protocol.
+//!
+//! Used by `fleet_storm`, the protocol tests and the CI smoke — one
+//! connection, synchronous request/response round trips.
+
+use std::net::{SocketAddr, TcpStream};
+
+use crate::proto::{read_frame, write_frame, FrameError, Request, Response};
+
+/// One connection to a fleet daemon.
+#[derive(Debug)]
+pub struct FleetClient {
+    stream: TcpStream,
+}
+
+impl FleetClient {
+    /// Connects over TCP (loopback in every in-tree use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<FleetClient> {
+        let stream = TcpStream::connect(addr)?;
+        drop(stream.set_nodelay(true));
+        Ok(FleetClient { stream })
+    }
+
+    /// One synchronous round trip.
+    ///
+    /// # Errors
+    ///
+    /// Frame-level failures as [`FrameError`]; an unparseable reply
+    /// surfaces as [`FrameError::Io`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
+        write_frame(&mut self.stream, &request.to_json().render().into_bytes())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::from_payload(&payload)
+            .ok_or_else(|| FrameError::Io("daemon reply did not parse".to_string()))
+    }
+}

@@ -1,0 +1,196 @@
+//! Fleet sizing, seeding and operating-point configuration.
+//!
+//! Everything a daemon needs to *rebuild* its fleet deterministically
+//! lives here: the chip count, the shard count, the base seed and the
+//! trap-ensemble parameters. The checkpoint format exploits this — a
+//! snapshot only stores the mutable state (occupancies, reported duty
+//! cycles), because the immutable trap constants regenerate bit-exactly
+//! from [`FleetConfig::seed`].
+
+use selfheal_bti::td::TrapEnsembleParams;
+use selfheal_bti::Environment;
+use selfheal_units::{Millivolts, Seconds};
+
+/// The full description of a fleet and its operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of simulated chips in the fleet.
+    pub chips: usize,
+    /// Number of shards the fleet is partitioned into. Each shard owns a
+    /// contiguous block of chips inside one [`TrapBank`] and advances
+    /// independently on the pool.
+    ///
+    /// [`TrapBank`]: selfheal_bti::td::TrapBank
+    pub shards: usize,
+    /// Base seed; shard `s` samples its chips from
+    /// `SeedSequence::new(seed).child(s)`.
+    pub seed: u64,
+    /// Per-chip trap ensemble statistics.
+    pub trap_params: TrapEnsembleParams,
+    /// The nominal active operating point chips age under.
+    pub active_env: Environment,
+    /// The total threshold-shift budget per chip.
+    pub margin: Millivolts,
+    /// Simulated time each epoch advances the whole fleet by.
+    pub epoch_dt: Seconds,
+    /// Default circadian period for `PLAN` requests that omit one.
+    pub period: Seconds,
+    /// Default planning horizon for `PLAN` requests that omit one.
+    pub horizon: Seconds,
+}
+
+impl Default for FleetConfig {
+    /// A small-but-realistic fleet: 1024 chips at the paper's 90 °C
+    /// accelerated operating point, one simulated hour per epoch,
+    /// day-long rhythms planned over a 30-day horizon.
+    fn default() -> Self {
+        let mut trap_params = TrapEnsembleParams::default();
+        // Fleet-scale default: fewer traps per chip than the single-chip
+        // studies so a 100k-chip fleet stays within tens of megabytes.
+        trap_params.mean_trap_count = 16.0;
+        FleetConfig {
+            chips: 1024,
+            shards: 8,
+            seed: 2014,
+            trap_params,
+            active_env: Environment::new(
+                selfheal_units::Volts::new(1.2),
+                selfheal_units::Celsius::new(90.0),
+            ),
+            margin: Millivolts::new(30.0),
+            epoch_dt: Seconds::new(3_600.0),
+            period: Seconds::new(86_400.0),
+            horizon: Seconds::new(30.0 * 86_400.0),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the configuration, returning the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for an empty fleet, a shard count of zero or larger
+    /// than the chip count, non-positive margin or time steps, or
+    /// invalid trap-ensemble parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chips == 0 {
+            return Err("fleet must contain at least one chip".into());
+        }
+        if self.shards == 0 || self.shards > self.chips {
+            return Err(format!(
+                "shard count must be in 1..={} (got {})",
+                self.chips, self.shards
+            ));
+        }
+        if self.margin.get() <= 0.0 {
+            return Err("margin must be positive".into());
+        }
+        if self.epoch_dt.get() <= 0.0 || self.period.get() <= 0.0 || self.horizon.get() <= 0.0 {
+            return Err("epoch_dt, period and horizon must be positive".into());
+        }
+        self.trap_params.validate()
+    }
+
+    /// A canonical string of every field that determines fleet state —
+    /// the cache key prefix for checkpoints. Two configs with equal keys
+    /// rebuild bit-identical fleets.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        let p = &self.trap_params;
+        format!(
+            "chips={};shards={};seed={};traps={:?}x{:?}mv;tauc={:?}..{:?};ratio={:?}..{:?};perm={:?};\
+             env={:?}V@{:?}K;margin={:?};dt={:?};period={:?};horizon={:?}",
+            self.chips,
+            self.shards,
+            self.seed,
+            p.mean_trap_count,
+            p.delta_vth_mean_mv.get(),
+            p.log10_tau_c_range.0,
+            p.log10_tau_c_range.1,
+            p.log10_tau_ratio_range.0,
+            p.log10_tau_ratio_range.1,
+            p.permanent_fraction,
+            self.active_env.supply().get(),
+            self.active_env.temperature().get(),
+            self.margin.get(),
+            self.epoch_dt.get(),
+            self.period.get(),
+            self.horizon.get(),
+        )
+    }
+
+    /// The contiguous chip range shard `shard` owns. Chips are dealt in
+    /// balanced blocks: the first `chips % shards` shards hold one extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards`.
+    #[must_use]
+    pub fn shard_chip_range(&self, shard: usize) -> std::ops::Range<usize> {
+        assert!(shard < self.shards, "shard index out of range");
+        let base = self.chips / self.shards;
+        let extra = self.chips % self.shards;
+        let start = shard * base + shard.min(extra);
+        let len = base + usize::from(shard < extra);
+        start..start + len
+    }
+
+    /// The shard that owns global chip `chip`, or `None` past the fleet.
+    #[must_use]
+    pub fn shard_of_chip(&self, chip: usize) -> Option<usize> {
+        if chip >= self.chips {
+            return None;
+        }
+        let base = self.chips / self.shards;
+        let extra = self.chips % self.shards;
+        let boundary = extra * (base + 1);
+        Some(if chip < boundary {
+            chip / (base + 1)
+        } else {
+            extra + (chip - boundary) / base
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(FleetConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_fleet() {
+        for (chips, shards) in [(7, 3), (8, 3), (1, 1), (100, 100), (1024, 8)] {
+            let config = FleetConfig {
+                chips,
+                shards,
+                ..FleetConfig::default()
+            };
+            let mut next = 0;
+            for s in 0..shards {
+                let range = config.shard_chip_range(s);
+                assert_eq!(range.start, next, "shard {s} must continue the tiling");
+                assert!(!range.is_empty(), "no shard may be empty");
+                for chip in range.clone() {
+                    assert_eq!(config.shard_of_chip(chip), Some(s));
+                }
+                next = range.end;
+            }
+            assert_eq!(next, chips, "shards must cover every chip");
+            assert_eq!(config.shard_of_chip(chips), None);
+        }
+    }
+
+    #[test]
+    fn cache_key_tracks_state_determining_fields() {
+        let base = FleetConfig::default();
+        let mut reseeded = base.clone();
+        reseeded.seed ^= 1;
+        assert_ne!(base.cache_key(), reseeded.cache_key());
+        assert_eq!(base.cache_key(), base.clone().cache_key());
+    }
+}

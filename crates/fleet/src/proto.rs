@@ -1,0 +1,702 @@
+//! The wire protocol: length-prefixed JSON frames and typed messages.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON — the simplest framing that survives pipelining
+//! and partial reads, and the registry/message-passing idiom the server
+//! follows (no async runtime, no external deps).
+//!
+//! All raw socket transfer funnels through one function, [`pump`],
+//! which carries the module's single `analyzer: trust(io)` annotation:
+//! everything above it (framing, parsing, dispatch, state) stays in the
+//! deterministic lattice classes, and the analyzer would flag any new
+//! read/write added outside the chokepoint.
+
+use std::io::{Read, Write};
+
+use selfheal::{RejuvenationPlan, RejuvenationTechnique};
+use selfheal_units::{DutyCycle, Millivolts, Ratio, Seconds};
+use selfheal_telemetry::{json, Json};
+
+/// Hard ceiling on frame payloads (1 MiB). A peer announcing more is
+/// answered with an `oversize` error and disconnected — the bytes are
+/// never allocated or read.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The announced payload length exceeds [`MAX_FRAME`].
+    Oversize(u32),
+    /// The connection died mid-frame (EOF or timeout inside a frame).
+    Truncated,
+    /// No bytes arrived within the read timeout (between frames); the
+    /// connection is still healthy.
+    TimedOut,
+    /// Any other transport failure.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Oversize(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::Truncated => write!(f, "connection dropped mid-frame"),
+            FrameError::TimedOut => write!(f, "no frame within the read timeout"),
+            FrameError::Io(err) => write!(f, "transport error: {err}"),
+        }
+    }
+}
+
+/// One raw transfer: fill a buffer from the stream, or drain one into it.
+#[derive(Debug)]
+enum WireOp<'a, S> {
+    Recv(&'a mut S, &'a mut [u8]),
+    Send(&'a mut S, &'a [u8]),
+}
+
+/// The single point where payload bytes cross the socket.
+// analyzer: trust(io): the only raw socket transfer in the fleet service; bytes entering here are length-checked frames whose effect on fleet state flows through the typed request dispatch, and every mutation is captured in the checkpoint mutation digest
+fn pump<S: Read + Write>(op: WireOp<'_, S>) -> std::io::Result<()> {
+    match op {
+        WireOp::Recv(stream, buf) => stream.read_exact(buf),
+        WireOp::Send(stream, buf) => stream.write_all(buf),
+    }
+}
+
+fn classify(err: &std::io::Error, mid_frame: bool) -> FrameError {
+    use std::io::ErrorKind;
+    match err.kind() {
+        ErrorKind::UnexpectedEof if mid_frame => FrameError::Truncated,
+        ErrorKind::UnexpectedEof => FrameError::Closed,
+        ErrorKind::WouldBlock | ErrorKind::TimedOut if !mid_frame => FrameError::TimedOut,
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => FrameError::Truncated,
+        _ => FrameError::Io(err.to_string()),
+    }
+}
+
+/// Reads one frame. [`FrameError::Closed`]/[`FrameError::TimedOut`] are
+/// only reported on a clean inter-frame boundary; anything that dies
+/// after the first header byte is [`FrameError::Truncated`].
+///
+/// On [`FrameError::Oversize`] the payload has *not* been consumed — the
+/// stream is desynchronized and the caller must drop the connection
+/// after sending its error reply.
+///
+/// # Errors
+///
+/// See [`FrameError`].
+pub fn read_frame<S: Read + Write>(stream: &mut S) -> Result<Vec<u8>, FrameError> {
+    let mut header = [0u8; 4];
+    pump(WireOp::Recv(stream, &mut header[..1])).map_err(|e| classify(&e, false))?;
+    pump(WireOp::Recv(stream, &mut header[1..])).map_err(|e| classify(&e, true))?;
+    let len = u32::from_be_bytes(header);
+    if len as usize > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    pump(WireOp::Recv(stream, &mut payload)).map_err(|e| classify(&e, true))?;
+    Ok(payload)
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`FrameError::Oversize`] for a payload over [`MAX_FRAME`], otherwise
+/// transport failures as [`FrameError::Io`]/[`FrameError::Truncated`].
+pub fn write_frame<S: Read + Write>(stream: &mut S, payload: &[u8]) -> Result<(), FrameError> {
+    let Ok(len) = u32::try_from(payload.len()) else {
+        return Err(FrameError::Oversize(u32::MAX));
+    };
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversize(len));
+    }
+    pump(WireOp::Send(stream, &len.to_be_bytes())).map_err(|e| classify(&e, true))?;
+    pump(WireOp::Send(stream, payload)).map_err(|e| classify(&e, true))?;
+    Ok(())
+}
+
+/// Machine-readable error categories carried in error replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The payload was not valid JSON.
+    BadJson,
+    /// The `type` field named no known request.
+    UnknownType,
+    /// A required field was missing or had the wrong shape.
+    BadRequest,
+    /// The addressed chip is outside the fleet.
+    UnknownChip,
+    /// The announced frame length exceeded [`MAX_FRAME`].
+    Oversize,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::UnknownType => "unknown-type",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownChip => "unknown-chip",
+            ErrorCode::Oversize => "oversize",
+        }
+    }
+
+    fn parse(text: &str) -> Option<ErrorCode> {
+        [
+            ErrorCode::BadJson,
+            ErrorCode::UnknownType,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownChip,
+            ErrorCode::Oversize,
+        ]
+        .into_iter()
+        .find(|code| code.as_str() == text)
+    }
+}
+
+/// A client request against the live fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// "Chip X wants a rhythm — which condition, what α?"
+    Plan {
+        /// Global chip id.
+        chip: u64,
+        /// Sleep treatment (defaults to the paper's best, `Combined`).
+        technique: RejuvenationTechnique,
+        /// Circadian period (daemon default when `None`).
+        period: Option<Seconds>,
+        /// Planning horizon (daemon default when `None`).
+        horizon: Option<Seconds>,
+    },
+    /// "Where is chip X's margin after Δt more of its current life?"
+    Predict {
+        /// Global chip id.
+        chip: u64,
+        /// Projection interval.
+        dt: Seconds,
+    },
+    /// A chip-local stress observation folded into the bank.
+    Report {
+        /// Global chip id.
+        chip: u64,
+        /// Observed stress duty cycle.
+        duty: DutyCycle,
+    },
+    /// Fleet-wide aggregates.
+    Stats,
+    /// Graceful shutdown (final checkpoint, then exit).
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes for the wire.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        match self {
+            Request::Plan {
+                chip,
+                technique,
+                period,
+                horizon,
+            } => {
+                fields.push(("type".into(), Json::String("plan".into())));
+                fields.push(("chip".into(), number_u64(*chip)));
+                fields.push((
+                    "technique".into(),
+                    Json::String(technique_name(*technique).into()),
+                ));
+                if let Some(period) = period {
+                    fields.push(("period_s".into(), Json::Number(period.get())));
+                }
+                if let Some(horizon) = horizon {
+                    fields.push(("horizon_s".into(), Json::Number(horizon.get())));
+                }
+            }
+            Request::Predict { chip, dt } => {
+                fields.push(("type".into(), Json::String("predict".into())));
+                fields.push(("chip".into(), number_u64(*chip)));
+                fields.push(("dt_s".into(), Json::Number(dt.get())));
+            }
+            Request::Report { chip, duty } => {
+                fields.push(("type".into(), Json::String("report".into())));
+                fields.push(("chip".into(), number_u64(*chip)));
+                fields.push(("duty".into(), Json::Number(duty.get())));
+            }
+            Request::Stats => fields.push(("type".into(), Json::String("stats".into()))),
+            Request::Shutdown => fields.push(("type".into(), Json::String("shutdown".into()))),
+        }
+        Json::object(fields)
+    }
+
+    /// Decodes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// `(code, message)` pairs ready to wrap in [`Response::Error`]:
+    /// [`ErrorCode::BadJson`], [`ErrorCode::UnknownType`] or
+    /// [`ErrorCode::BadRequest`].
+    pub fn from_payload(payload: &[u8]) -> Result<Request, (ErrorCode, String)> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| (ErrorCode::BadJson, "payload is not UTF-8".to_string()))?;
+        let doc = json::parse(text)
+            .map_err(|e| (ErrorCode::BadJson, format!("payload is not JSON: {e:?}")))?;
+        let kind = doc
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| (ErrorCode::BadRequest, "missing \"type\" field".to_string()))?;
+        match kind {
+            "plan" => Ok(Request::Plan {
+                chip: field_u64(&doc, "chip")?,
+                technique: match doc.get("technique").and_then(Json::as_str) {
+                    None => RejuvenationTechnique::Combined,
+                    Some(name) => parse_technique(name).ok_or_else(|| {
+                        (ErrorCode::BadRequest, format!("unknown technique {name:?}"))
+                    })?,
+                },
+                period: optional_seconds(&doc, "period_s")?,
+                horizon: optional_seconds(&doc, "horizon_s")?,
+            }),
+            "predict" => Ok(Request::Predict {
+                chip: field_u64(&doc, "chip")?,
+                dt: Seconds::new(positive_field(&doc, "dt_s")?),
+            }),
+            "report" => {
+                let duty = doc
+                    .get("duty")
+                    .and_then(Json::as_f64)
+                    .filter(|d| (0.0..=1.0).contains(d))
+                    .ok_or_else(|| {
+                        (
+                            ErrorCode::BadRequest,
+                            "\"duty\" must be a number in [0, 1]".to_string(),
+                        )
+                    })?;
+                Ok(Request::Report {
+                    chip: field_u64(&doc, "chip")?,
+                    duty: DutyCycle::new(duty),
+                })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err((
+                ErrorCode::UnknownType,
+                format!("unknown request type {other:?}"),
+            )),
+        }
+    }
+
+    /// Short static name for telemetry labels.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Plan { .. } => "plan",
+            Request::Predict { .. } => "predict",
+            Request::Report { .. } => "report",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Fleet aggregates as served to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReply {
+    /// Fleet size in chips.
+    pub chips: u64,
+    /// Shard count.
+    pub shards: u64,
+    /// Completed epochs.
+    pub epoch: u64,
+    /// Simulated time elapsed.
+    pub sim_time: Seconds,
+    /// Requests served so far (this process lifetime).
+    pub requests: u64,
+    /// Mean per-chip ΔVth.
+    pub mean_delta_vth: Millivolts,
+    /// Worst single chip's ΔVth.
+    pub worst_delta_vth: Millivolts,
+    /// Chips already out of budget.
+    pub over_budget_chips: u64,
+    /// The state digest (hex on the wire) — lets a client pin
+    /// bit-exactness across a daemon restart.
+    pub state_digest: u64,
+}
+
+/// A daemon reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Plan`].
+    Plan {
+        /// The chip the plan is for.
+        chip: u64,
+        /// Margin already consumed by the chip's live trap state.
+        consumed: Millivolts,
+        /// The rhythm, or `None` when no rhythm can hold what remains.
+        plan: Option<RejuvenationPlan>,
+    },
+    /// Answer to [`Request::Predict`].
+    Predict {
+        /// The chip projected.
+        chip: u64,
+        /// ΔVth now.
+        current: Millivolts,
+        /// ΔVth after the requested interval at the chip's observed duty.
+        projected: Millivolts,
+        /// Margin left at that point (negative = out of spec).
+        headroom: Millivolts,
+    },
+    /// Acknowledges [`Request::Report`].
+    Report {
+        /// The chip updated.
+        chip: u64,
+        /// The duty cycle now on file.
+        duty: DutyCycle,
+        /// The epoch the observation lands in.
+        epoch: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Acknowledges [`Request::Shutdown`]; the daemon exits after its
+    /// final checkpoint.
+    Bye,
+    /// A structured failure; the connection stays usable except after
+    /// `oversize`.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes for the wire.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Plan {
+                chip,
+                consumed,
+                plan,
+            } => {
+                let mut fields = vec![
+                    ("type".to_string(), Json::String("plan".into())),
+                    ("chip".to_string(), number_u64(*chip)),
+                    ("consumed_mv".to_string(), Json::Number(consumed.get())),
+                    ("feasible".to_string(), Json::Bool(plan.is_some())),
+                ];
+                if let Some(plan) = plan {
+                    let (_, sleep) = plan.alpha.split_cycle(plan.period);
+                    fields.push(("alpha".into(), Json::Number(plan.alpha.get())));
+                    fields.push((
+                        "technique".into(),
+                        Json::String(technique_name(plan.technique).into()),
+                    ));
+                    fields.push(("period_s".into(), Json::Number(plan.period.get())));
+                    fields.push(("sleep_s_per_period".into(), Json::Number(sleep.get())));
+                    fields.push((
+                        "predicted_peak_mv".into(),
+                        Json::Number(plan.predicted_peak.get()),
+                    ));
+                }
+                Json::object(fields)
+            }
+            Response::Predict {
+                chip,
+                current,
+                projected,
+                headroom,
+            } => Json::object(vec![
+                ("type".into(), Json::String("predict".into())),
+                ("chip".into(), number_u64(*chip)),
+                ("current_mv".into(), Json::Number(current.get())),
+                ("projected_mv".into(), Json::Number(projected.get())),
+                ("headroom_mv".into(), Json::Number(headroom.get())),
+            ]),
+            Response::Report { chip, duty, epoch } => Json::object(vec![
+                ("type".into(), Json::String("report".into())),
+                ("chip".into(), number_u64(*chip)),
+                ("duty".into(), Json::Number(duty.get())),
+                ("epoch".into(), number_u64(*epoch)),
+            ]),
+            Response::Stats(stats) => Json::object(vec![
+                ("type".into(), Json::String("stats".into())),
+                ("chips".into(), number_u64(stats.chips)),
+                ("shards".into(), number_u64(stats.shards)),
+                ("epoch".into(), number_u64(stats.epoch)),
+                ("sim_time_s".into(), Json::Number(stats.sim_time.get())),
+                ("requests".into(), number_u64(stats.requests)),
+                (
+                    "mean_delta_vth_mv".into(),
+                    Json::Number(stats.mean_delta_vth.get()),
+                ),
+                (
+                    "worst_delta_vth_mv".into(),
+                    Json::Number(stats.worst_delta_vth.get()),
+                ),
+                ("over_budget_chips".into(), number_u64(stats.over_budget_chips)),
+                (
+                    "state_digest".into(),
+                    Json::String(format!("{:016x}", stats.state_digest)),
+                ),
+            ]),
+            Response::Bye => Json::object(vec![("type".into(), Json::String("bye".into()))]),
+            Response::Error { code, message } => Json::object(vec![
+                ("type".into(), Json::String("error".into())),
+                ("code".into(), Json::String(code.as_str().into())),
+                ("message".into(), Json::String(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes a reply payload (the client side of the protocol).
+    #[must_use]
+    pub fn from_payload(payload: &[u8]) -> Option<Response> {
+        let doc = json::parse(std::str::from_utf8(payload).ok()?).ok()?;
+        match doc.get("type")?.as_str()? {
+            "plan" => {
+                let plan = if matches!(doc.get("feasible")?, Json::Bool(true)) {
+                    Some(RejuvenationPlan {
+                        alpha: Ratio::new(doc.get("alpha")?.as_f64()?)?,
+                        technique: parse_technique(doc.get("technique")?.as_str()?)?,
+                        period: Seconds::new(doc.get("period_s")?.as_f64()?),
+                        predicted_peak: Millivolts::new(doc.get("predicted_peak_mv")?.as_f64()?),
+                    })
+                } else {
+                    None
+                };
+                Some(Response::Plan {
+                    chip: json_u64(doc.get("chip")?)?,
+                    consumed: Millivolts::new(doc.get("consumed_mv")?.as_f64()?),
+                    plan,
+                })
+            }
+            "predict" => Some(Response::Predict {
+                chip: json_u64(doc.get("chip")?)?,
+                current: Millivolts::new(doc.get("current_mv")?.as_f64()?),
+                projected: Millivolts::new(doc.get("projected_mv")?.as_f64()?),
+                headroom: Millivolts::new(doc.get("headroom_mv")?.as_f64()?),
+            }),
+            "report" => Some(Response::Report {
+                chip: json_u64(doc.get("chip")?)?,
+                duty: DutyCycle::new(doc.get("duty")?.as_f64()?),
+                epoch: json_u64(doc.get("epoch")?)?,
+            }),
+            "stats" => Some(Response::Stats(StatsReply {
+                chips: json_u64(doc.get("chips")?)?,
+                shards: json_u64(doc.get("shards")?)?,
+                epoch: json_u64(doc.get("epoch")?)?,
+                sim_time: Seconds::new(doc.get("sim_time_s")?.as_f64()?),
+                requests: json_u64(doc.get("requests")?)?,
+                mean_delta_vth: Millivolts::new(doc.get("mean_delta_vth_mv")?.as_f64()?),
+                worst_delta_vth: Millivolts::new(doc.get("worst_delta_vth_mv")?.as_f64()?),
+                over_budget_chips: json_u64(doc.get("over_budget_chips")?)?,
+                state_digest: u64::from_str_radix(doc.get("state_digest")?.as_str()?, 16).ok()?,
+            })),
+            "bye" => Some(Response::Bye),
+            "error" => Some(Response::Error {
+                code: ErrorCode::parse(doc.get("code")?.as_str()?)?,
+                message: doc.get("message")?.as_str()?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Renders the frame payload bytes.
+    #[must_use]
+    pub fn to_payload(&self) -> Vec<u8> {
+        self.to_json().render().into_bytes()
+    }
+}
+
+/// The canonical wire spelling of a technique.
+#[must_use]
+pub fn technique_name(technique: RejuvenationTechnique) -> &'static str {
+    match technique {
+        RejuvenationTechnique::PassiveGating => "passive",
+        RejuvenationTechnique::NegativeVoltage => "negative-voltage",
+        RejuvenationTechnique::HighTemperature => "high-temperature",
+        RejuvenationTechnique::Combined => "combined",
+    }
+}
+
+/// Parses a technique's wire spelling.
+#[must_use]
+pub fn parse_technique(name: &str) -> Option<RejuvenationTechnique> {
+    RejuvenationTechnique::ALL
+        .into_iter()
+        .find(|t| technique_name(*t) == name)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn number_u64(value: u64) -> Json {
+    Json::Number(value as f64)
+}
+
+fn json_u64(json: &Json) -> Option<u64> {
+    let value = json.as_f64()?;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    (value >= 0.0 && value.fract() == 0.0).then_some(value as u64)
+}
+
+fn field_u64(doc: &Json, key: &str) -> Result<u64, (ErrorCode, String)> {
+    doc.get(key).and_then(json_u64).ok_or_else(|| {
+        (
+            ErrorCode::BadRequest,
+            format!("\"{key}\" must be a non-negative integer"),
+        )
+    })
+}
+
+fn positive_field(doc: &Json, key: &str) -> Result<f64, (ErrorCode, String)> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .filter(|v| *v > 0.0)
+        .ok_or_else(|| {
+            (
+                ErrorCode::BadRequest,
+                format!("\"{key}\" must be a positive number"),
+            )
+        })
+}
+
+fn optional_seconds(doc: &Json, key: &str) -> Result<Option<Seconds>, (ErrorCode, String)> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(_) => Ok(Some(Seconds::new(positive_field(doc, key)?))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Cursor::new(Vec::new());
+        assert_eq!(write_frame(&mut wire, b"{\"type\":\"stats\"}"), Ok(()));
+        assert_eq!(write_frame(&mut wire, b""), Ok(()));
+        wire.set_position(0);
+        assert_eq!(read_frame(&mut wire), Ok(b"{\"type\":\"stats\"}".to_vec()));
+        assert_eq!(read_frame(&mut wire), Ok(Vec::new()));
+        assert_eq!(read_frame(&mut wire), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn oversize_and_truncated_frames_are_classified() {
+        let mut oversize = Cursor::new(0x7fff_ffffu32.to_be_bytes().to_vec());
+        assert_eq!(
+            read_frame(&mut oversize),
+            Err(FrameError::Oversize(0x7fff_ffff))
+        );
+        let mut short_header = Cursor::new(vec![0u8, 0]);
+        assert_eq!(read_frame(&mut short_header), Err(FrameError::Truncated));
+        let mut short_payload = Cursor::new(vec![0u8, 0, 0, 8, b'x']);
+        assert_eq!(read_frame(&mut short_payload), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let requests = [
+            Request::Plan {
+                chip: 42,
+                technique: RejuvenationTechnique::HighTemperature,
+                period: Some(Seconds::new(43_200.0)),
+                horizon: None,
+            },
+            Request::Predict {
+                chip: 7,
+                dt: Seconds::new(3_600.0),
+            },
+            Request::Report {
+                chip: 3,
+                duty: DutyCycle::new(0.25),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let payload = request.to_json().render().into_bytes();
+            assert_eq!(Request::from_payload(&payload), Ok(request));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_map_to_stable_codes() {
+        let cases: [(&[u8], ErrorCode); 5] = [
+            (b"not json at all", ErrorCode::BadJson),
+            (b"{\"chip\":3}", ErrorCode::BadRequest),
+            (b"{\"type\":\"frobnicate\"}", ErrorCode::UnknownType),
+            (b"{\"type\":\"plan\"}", ErrorCode::BadRequest),
+            (b"{\"type\":\"report\",\"chip\":1,\"duty\":1.5}", ErrorCode::BadRequest),
+        ];
+        for (payload, expected) in cases {
+            match Request::from_payload(payload) {
+                Err((code, _)) => assert_eq!(code, expected),
+                Ok(req) => panic!("{payload:?} must not parse, got {req:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_format() {
+        let responses = [
+            Response::Plan {
+                chip: 1,
+                consumed: Millivolts::new(4.25),
+                plan: Ratio::new(3.5).map(|alpha| RejuvenationPlan {
+                    alpha,
+                    technique: RejuvenationTechnique::Combined,
+                    period: Seconds::new(86_400.0),
+                    predicted_peak: Millivolts::new(21.5),
+                }),
+            },
+            Response::Plan {
+                chip: 2,
+                consumed: Millivolts::new(31.0),
+                plan: None,
+            },
+            Response::Predict {
+                chip: 9,
+                current: Millivolts::new(3.0),
+                projected: Millivolts::new(5.5),
+                headroom: Millivolts::new(-1.25),
+            },
+            Response::Report {
+                chip: 4,
+                duty: DutyCycle::new(0.5),
+                epoch: 12,
+            },
+            Response::Stats(StatsReply {
+                chips: 100,
+                shards: 8,
+                epoch: 3,
+                sim_time: Seconds::new(10_800.0),
+                requests: 512,
+                mean_delta_vth: Millivolts::new(2.125),
+                worst_delta_vth: Millivolts::new(9.75),
+                over_budget_chips: 0,
+                state_digest: 0xdead_beef_cafe_f00d,
+            }),
+            Response::Bye,
+            Response::Error {
+                code: ErrorCode::UnknownChip,
+                message: "chip 10 is outside the fleet".into(),
+            },
+        ];
+        for response in responses {
+            let payload = response.to_payload();
+            assert_eq!(Response::from_payload(&payload), Some(response));
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! The socket front end: a blocking worker-accept loop over
+//! `std::net::TcpListener`.
+//!
+//! N worker threads share one listener (via `try_clone`) and each
+//! serves one connection at a time; decoded requests travel over an
+//! mpsc channel to the single *state thread* (the caller of
+//! [`FleetServer::run`]), which owns the [`FleetDaemon`] outright — no
+//! locks around fleet state, and request handling is serialized exactly
+//! like the registry/message-server idiom this follows. The state
+//! thread doubles as the epoch clock: between requests it waits with a
+//! deadline and advances the fleet when the wall-clock epoch interval
+//! elapses.
+//!
+//! Shutdown is cooperative: a `shutdown` request (the SIGTERM
+//! equivalent — the CLI sends one over loopback) flips a shared flag,
+//! the state thread writes a final checkpoint, wakes every worker with
+//! a dummy connection, and joins them. Connections in flight notice the
+//! flag at their next read timeout.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use selfheal_telemetry::{counter, histogram, register_probe, span};
+
+use crate::daemon::FleetDaemon;
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response,
+};
+
+/// How often a blocked connection read wakes up to poll the shutdown
+/// flag (also bounds worker join latency).
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Transport-side configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker-accept threads (= concurrently served connections).
+    pub workers: usize,
+    /// Wall-clock cadence of fleet epochs; `None` disables timed epochs
+    /// (requests are then answered against frozen state — what the
+    /// protocol tests want).
+    pub epoch_interval: Option<Duration>,
+    /// Shut down automatically after this many epochs.
+    pub max_epochs: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    /// Loopback on an ephemeral port, 4 workers, 1 s epochs.
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            epoch_interval: Some(Duration::from_secs(1)),
+            max_epochs: None,
+        }
+    }
+}
+
+/// What a finished serve loop reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests answered (including error replies to parsed frames).
+    pub requests: u64,
+    /// Epochs advanced while serving.
+    pub epochs: u64,
+    /// The final [`state_digest`](crate::state::FleetState::state_digest).
+    pub final_state_digest: u64,
+    /// Whether the final checkpoint was written (false = cache disabled).
+    pub checkpointed: bool,
+}
+
+/// Counters shared between the state thread and the workers.
+#[derive(Debug, Default)]
+struct Shared {
+    shutdown: AtomicBool,
+    epoch: AtomicU64,
+    served: AtomicU64,
+}
+
+/// One decoded request in flight from a worker to the state thread.
+#[derive(Debug)]
+struct Job {
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// A bound-but-not-yet-running fleet server.
+#[derive(Debug)]
+pub struct FleetServer {
+    daemon: FleetDaemon,
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl FleetServer {
+    /// Binds the listener and registers the live probes
+    /// (`fleet.epoch`, `fleet.requests`) the status-file sampler picks
+    /// up. Call [`addr`](Self::addr) to learn the ephemeral port, then
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(daemon: FleetDaemon, config: ServerConfig) -> std::io::Result<FleetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared::default());
+        let for_epoch: Weak<Shared> = Arc::downgrade(&shared);
+        register_probe("fleet.epoch", move || {
+            #[allow(clippy::cast_precision_loss)]
+            for_epoch
+                .upgrade()
+                .map(|s| s.epoch.load(Ordering::Relaxed) as f64)
+        });
+        let for_served: Weak<Shared> = Arc::downgrade(&shared);
+        register_probe("fleet.requests", move || {
+            #[allow(clippy::cast_precision_loss)]
+            for_served
+                .upgrade()
+                .map(|s| s.served.load(Ordering::Relaxed) as f64)
+        });
+        Ok(FleetServer {
+            daemon,
+            listener,
+            addr,
+            config,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until shutdown (request or epoch limit), then writes the
+    /// final checkpoint and joins every worker. Blocking — spawn a
+    /// thread to run it alongside test clients.
+    pub fn run(mut self) -> ServeSummary {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let mut workers = Vec::with_capacity(self.config.workers.max(1));
+        for index in 0..self.config.workers.max(1) {
+            let listener = match self.listener.try_clone() {
+                Ok(listener) => listener,
+                Err(err) => panic!("cannot clone fleet listener: {err}"),
+            };
+            let tx = tx.clone();
+            let shared = Arc::clone(&self.shared);
+            let builder = std::thread::Builder::new().name(format!("fleet-worker-{index}"));
+            match builder.spawn(move || worker_loop(&listener, &tx, &shared)) {
+                Ok(handle) => workers.push(handle),
+                Err(err) => panic!("cannot spawn fleet worker: {err}"),
+            }
+        }
+        drop(tx);
+
+        let epochs = self.state_loop(&rx);
+
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let checkpointed = self.daemon.final_checkpoint();
+        // Wake workers parked in accept(); a worker mid-connection exits
+        // at its next read poll instead.
+        for _ in &workers {
+            drop(TcpStream::connect(self.addr));
+        }
+        for worker in workers {
+            drop(worker.join());
+        }
+        ServeSummary {
+            requests: self.daemon.requests_served(),
+            epochs,
+            final_state_digest: self.daemon.state().state_digest(),
+            checkpointed,
+        }
+    }
+
+    /// The state thread: single owner of the daemon. Returns the number
+    /// of epochs advanced.
+    fn state_loop(&mut self, rx: &Receiver<Job>) -> u64 {
+        let mut epochs = 0u64;
+        let mut next_epoch = self.config.epoch_interval.map(|d| Instant::now() + d);
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return epochs;
+            }
+            if let Some(max) = self.config.max_epochs {
+                if epochs >= max {
+                    return epochs;
+                }
+            }
+            let job = match (next_epoch, self.config.epoch_interval) {
+                (Some(deadline), Some(interval)) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.daemon.advance_epoch();
+                        epochs += 1;
+                        self.shared
+                            .epoch
+                            .store(self.daemon.state().epoch(), Ordering::Relaxed);
+                        next_epoch = Some(now + interval);
+                        continue;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(job) => job,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => return epochs,
+                    }
+                }
+                _ => match rx.recv() {
+                    Ok(job) => job,
+                    Err(_) => return epochs,
+                },
+            };
+            let wants_shutdown = matches!(job.request, Request::Shutdown);
+            let response = self.daemon.handle(&job.request);
+            self.shared.served.fetch_add(1, Ordering::Relaxed);
+            drop(job.reply.send(response));
+            if wants_shutdown {
+                return epochs;
+            }
+        }
+    }
+}
+
+/// One worker: accept, serve the connection to completion, repeat.
+fn worker_loop(listener: &TcpListener, tx: &Sender<Job>, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                counter!("fleet.connections", 1);
+                serve_connection(stream, tx, shared);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one connection until it closes, errors fatally, or shutdown.
+fn serve_connection(mut stream: TcpStream, tx: &Sender<Job>, shared: &Shared) {
+    drop(stream.set_read_timeout(Some(READ_POLL)));
+    drop(stream.set_nodelay(true));
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut stream) {
+            Ok(payload) => {
+                let started = Instant::now();
+                let response = match Request::from_payload(&payload) {
+                    Ok(request) => {
+                        let kind = request.kind();
+                        let _span = span!("fleet.request", kind = kind);
+                        let (reply_tx, reply_rx) = mpsc::channel();
+                        if tx
+                            .send(Job {
+                                request,
+                                reply: reply_tx,
+                            })
+                            .is_err()
+                        {
+                            return; // state thread gone: shutting down
+                        }
+                        let Ok(response) = reply_rx.recv() else {
+                            return;
+                        };
+                        observe_latency(kind, started.elapsed());
+                        response
+                    }
+                    Err((code, message)) => {
+                        counter!("fleet.protocol_errors", 1);
+                        Response::Error { code, message }
+                    }
+                };
+                let done = matches!(response, Response::Bye);
+                if write_frame(&mut stream, &response.to_payload()).is_err() || done {
+                    return;
+                }
+            }
+            Err(FrameError::TimedOut) => {} // poll the shutdown flag
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Oversize(len)) => {
+                // The oversized payload was never read; the stream is
+                // desynchronized. Answer, then drop the connection.
+                counter!("fleet.protocol_errors", 1);
+                let reply = Response::Error {
+                    code: ErrorCode::Oversize,
+                    message: FrameError::Oversize(len).to_string(),
+                };
+                drop(write_frame(&mut stream, &reply.to_payload()));
+                return;
+            }
+            Err(FrameError::Truncated | FrameError::Io(_)) => {
+                counter!("fleet.dropped_connections", 1);
+                return;
+            }
+        }
+    }
+}
+
+/// Request latency into the mergeable histograms `selfheal-top` watches.
+fn observe_latency(kind: &str, elapsed: Duration) {
+    let us = elapsed.as_secs_f64() * 1e6;
+    histogram!("fleet.request.us", us);
+    match kind {
+        "plan" => histogram!("fleet.request.plan.us", us),
+        "predict" => histogram!("fleet.request.predict.us", us),
+        "report" => histogram!("fleet.request.report.us", us),
+        "stats" => histogram!("fleet.request.stats.us", us),
+        _ => {}
+    }
+}

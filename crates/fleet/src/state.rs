@@ -1,0 +1,370 @@
+//! The live fleet: sharded trap banks advanced in epochs.
+//!
+//! A [`FleetState`] partitions its chips into [`Shard`]s, each owning one
+//! SoA [`TrapBank`] holding the concatenated trap slices of a contiguous
+//! chip block. Epochs advance every shard independently on the global
+//! pool; because shards are reassembled by input index and each chip's
+//! traps were sampled from a `SeedSequence`-split stream, the resulting
+//! state is bit-for-bit identical at any worker count — the same
+//! contract the rest of the workspace pins.
+//!
+//! Mutations arriving over the wire (`REPORT` duty-cycle observations)
+//! are folded into a running FNV chain, [`FleetState::mutation_digest`],
+//! so a checkpoint can prove it captured the same request history that
+//! produced it.
+
+use std::ops::Range;
+
+use selfheal_bti::td::{PhaseRateCache, TrapBank, TrapEnsemble};
+use selfheal_bti::DeviceCondition;
+use selfheal_runtime::{par_map, par_map_indexed, SeedSequence};
+use selfheal_telemetry::fnv1a;
+use selfheal_units::{DutyCycle, Millivolts, Seconds};
+
+use crate::config::FleetConfig;
+
+/// One chip's slot inside a shard: its trap slice and the stress duty
+/// cycle it most recently reported.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSlot {
+    /// The chip's trap range inside the shard's bank.
+    pub traps: Range<usize>,
+    /// The chip's observed stress duty cycle (DC until reported).
+    pub duty: DutyCycle,
+}
+
+/// A contiguous block of chips sharing one trap bank.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Global id of the first chip in this shard.
+    pub first_chip: usize,
+    /// Per-chip slots, indexed by `global_id - first_chip`.
+    pub chips: Vec<ChipSlot>,
+    /// The concatenated trap state of every chip in the shard.
+    pub bank: TrapBank,
+}
+
+impl Shard {
+    /// Samples a fresh shard: each chip draws its ensemble from its own
+    /// `seeds.rng(local_index)` stream, so the shard's contents depend
+    /// only on `(config.seed, shard_index, local_index)` — never on
+    /// execution order.
+    #[must_use]
+    pub fn sample(config: &FleetConfig, shard_index: usize, seeds: &SeedSequence) -> Shard {
+        let chip_range = config.shard_chip_range(shard_index);
+        let mut bank = TrapBank::new();
+        let mut chips = Vec::with_capacity(chip_range.len());
+        for local in 0..chip_range.len() {
+            let mut rng = seeds.rng(local as u64);
+            let ensemble = TrapEnsemble::sample(&config.trap_params, &mut rng);
+            let start = bank.len();
+            for trap in ensemble.iter() {
+                bank.push(trap);
+            }
+            chips.push(ChipSlot {
+                traps: start..bank.len(),
+                duty: DutyCycle::default(),
+            });
+        }
+        Shard {
+            first_chip: chip_range.start,
+            chips,
+            bank,
+        }
+    }
+
+    /// Advances every chip in the shard by `dt` under its own observed
+    /// duty cycle at the fleet's active environment. A per-shard
+    /// [`PhaseRateCache`] keeps the common case (most chips still at the
+    /// default duty) at one rate computation per distinct condition.
+    pub fn advance(&mut self, config: &FleetConfig, dt: Seconds) {
+        let mut rates = PhaseRateCache::new();
+        for chip in &self.chips {
+            let cond = DeviceCondition::new(config.active_env, chip.duty);
+            let phase = rates.rates(cond);
+            self.bank.advance_range(chip.traps.clone(), &phase, dt);
+        }
+    }
+
+    /// The chip's consumed margin: the ΔVth of its trap slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[must_use]
+    pub fn chip_delta_vth(&self, local: usize) -> Millivolts {
+        self.bank.summary_range(self.chips[local].traps.clone()).delta_vth
+    }
+}
+
+/// Fleet-wide aggregates computed by one full scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetAggregates {
+    /// Sum of per-chip ΔVth over the fleet.
+    pub total_delta_vth: Millivolts,
+    /// The single worst chip's ΔVth.
+    pub worst_delta_vth: Millivolts,
+    /// Chips whose ΔVth has already crossed the margin.
+    pub over_budget_chips: usize,
+}
+
+/// The daemon's entire mutable world: shards plus epoch bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FleetState {
+    config: FleetConfig,
+    shards: Vec<Shard>,
+    epoch: u64,
+    mutation_digest: u64,
+}
+
+impl FleetState {
+    /// Builds a fresh fleet from the configuration. Shards sample in
+    /// parallel on the global pool; the result is identical at any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`FleetConfig::validate`]).
+    #[must_use]
+    pub fn build(config: FleetConfig) -> FleetState {
+        if let Err(problem) = config.validate() {
+            panic!("invalid fleet config: {problem}");
+        }
+        let seeds = SeedSequence::new(config.seed);
+        let shard_configs: Vec<FleetConfig> = vec![config.clone(); config.shards];
+        let shards = par_map_indexed(shard_configs, move |index, cfg| {
+            Shard::sample(&cfg, index, &seeds.child(index as u64))
+        });
+        let mutation_digest = fnv1a(config.cache_key().as_bytes());
+        FleetState {
+            config,
+            shards,
+            epoch: 0,
+            mutation_digest,
+        }
+    }
+
+    /// The configuration the fleet was built from.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shards, in chip order.
+    #[must_use]
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Completed epoch count.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Simulated time elapsed: `epoch × epoch_dt`. Computed, not
+    /// accumulated, so a resumed daemon reports the exact same value as
+    /// an uninterrupted one.
+    #[must_use]
+    pub fn sim_time(&self) -> Seconds {
+        #[allow(clippy::cast_precision_loss)]
+        Seconds::new(self.epoch as f64 * self.config.epoch_dt.get())
+    }
+
+    /// The running FNV chain over every folded mutation (see module
+    /// docs). Captured in checkpoints; equal digests mean equal request
+    /// histories.
+    #[must_use]
+    pub fn mutation_digest(&self) -> u64 {
+        self.mutation_digest
+    }
+
+    /// Advances the whole fleet by one epoch (`config.epoch_dt` of
+    /// simulated time) in parallel over shards.
+    pub fn advance_epoch(&mut self) {
+        let config = self.config.clone();
+        let dt = config.epoch_dt;
+        let shards = std::mem::take(&mut self.shards);
+        self.shards = par_map(shards, move |mut shard| {
+            shard.advance(&config, dt);
+            shard
+        });
+        self.epoch += 1;
+    }
+
+    /// Locates a chip: `(shard index, local index)`.
+    #[must_use]
+    pub fn locate(&self, chip: usize) -> Option<(usize, usize)> {
+        let shard = self.config.shard_of_chip(chip)?;
+        Some((shard, chip - self.shards[shard].first_chip))
+    }
+
+    /// The shard holding `chip` together with the chip's trap range, for
+    /// planner entry points that take bank views.
+    #[must_use]
+    pub fn chip_view(&self, chip: usize) -> Option<(&Shard, Range<usize>)> {
+        let (shard, local) = self.locate(chip)?;
+        let shard = &self.shards[shard];
+        Some((shard, shard.chips[local].traps.clone()))
+    }
+
+    /// The duty cycle `chip` last reported (DC until reported).
+    #[must_use]
+    pub fn chip_duty(&self, chip: usize) -> Option<DutyCycle> {
+        let (shard, local) = self.locate(chip)?;
+        Some(self.shards[shard].chips[local].duty)
+    }
+
+    /// Folds a `REPORT` observation into the fleet: the chip's duty
+    /// cycle is replaced (shaping its stress from the next epoch on) and
+    /// the mutation digest is advanced over `(epoch, chip, duty)`.
+    /// Returns `false` for a chip outside the fleet.
+    pub fn fold_report(&mut self, chip: usize, duty: DutyCycle) -> bool {
+        let Some((shard, local)) = self.locate(chip) else {
+            return false;
+        };
+        self.shards[shard].chips[local].duty = duty;
+        let mut bytes = Vec::with_capacity(32);
+        bytes.extend_from_slice(&self.mutation_digest.to_be_bytes());
+        bytes.extend_from_slice(&self.epoch.to_be_bytes());
+        bytes.extend_from_slice(&(chip as u64).to_be_bytes());
+        bytes.extend_from_slice(&duty.get().to_bits().to_be_bytes());
+        self.mutation_digest = fnv1a(&bytes);
+        true
+    }
+
+    /// One full scan: fleet totals, the worst chip and the count already
+    /// out of budget.
+    #[must_use]
+    pub fn aggregates(&self) -> FleetAggregates {
+        let margin = self.config.margin.get();
+        let mut total = 0.0f64;
+        let mut worst = 0.0f64;
+        let mut over = 0usize;
+        for shard in &self.shards {
+            for chip in &shard.chips {
+                let mv = shard.bank.summary_range(chip.traps.clone()).delta_vth.get();
+                total += mv;
+                if mv > worst {
+                    worst = mv;
+                }
+                if mv >= margin {
+                    over += 1;
+                }
+            }
+        }
+        FleetAggregates {
+            total_delta_vth: Millivolts::new(total),
+            worst_delta_vth: Millivolts::new(worst),
+            over_budget_chips: over,
+        }
+    }
+
+    /// A digest of the complete observable state: every occupancy bit
+    /// pattern, every reported duty, the epoch and the mutation chain.
+    /// Two states with equal digests answer every request identically.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&self.epoch.to_be_bytes());
+        bytes.extend_from_slice(&self.mutation_digest.to_be_bytes());
+        for shard in &self.shards {
+            for occ in shard.bank.occupancies() {
+                bytes.extend_from_slice(&occ.to_bits().to_be_bytes());
+            }
+            for chip in &shard.chips {
+                bytes.extend_from_slice(&chip.duty.get().to_bits().to_be_bytes());
+            }
+        }
+        fnv1a(&bytes)
+    }
+
+    /// Total traps across all shards.
+    #[must_use]
+    pub fn trap_count(&self) -> usize {
+        self.shards.iter().map(|s| s.bank.len()).sum()
+    }
+
+    /// Overwrites the mutable state from a checkpoint: per-shard
+    /// occupancies, per-chip duties, epoch and mutation digest. The
+    /// caller (the checkpoint module) has already verified shapes.
+    pub(crate) fn overlay(
+        &mut self,
+        epoch: u64,
+        mutation_digest: u64,
+        occupancies: &[Vec<f64>],
+        duties: &[Vec<f64>],
+    ) {
+        for ((shard, occ), duty) in self.shards.iter_mut().zip(occupancies).zip(duties) {
+            shard.bank.restore_occupancies(occ);
+            for (chip, d) in shard.chips.iter_mut().zip(duty) {
+                chip.duty = DutyCycle::new(*d);
+            }
+        }
+        self.epoch = epoch;
+        self.mutation_digest = mutation_digest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> FleetConfig {
+        let mut config = FleetConfig::default();
+        config.chips = 10;
+        config.shards = 3;
+        config.seed = 7;
+        config.trap_params.mean_trap_count = 6.0;
+        config
+    }
+
+    #[test]
+    fn build_is_seed_deterministic() {
+        let a = FleetState::build(tiny_config());
+        let b = FleetState::build(tiny_config());
+        assert_eq!(a.state_digest(), b.state_digest());
+        let mut reseeded = tiny_config();
+        reseeded.seed = 8;
+        assert_ne!(a.state_digest(), FleetState::build(reseeded).state_digest());
+    }
+
+    #[test]
+    fn epoch_advance_ages_the_fleet() {
+        let mut fleet = FleetState::build(tiny_config());
+        let before = fleet.aggregates().total_delta_vth;
+        fleet.advance_epoch();
+        fleet.advance_epoch();
+        assert_eq!(fleet.epoch(), 2);
+        assert_eq!(fleet.sim_time(), Seconds::new(7_200.0));
+        assert!(fleet.aggregates().total_delta_vth > before);
+    }
+
+    #[test]
+    fn reports_shape_aging_and_chain_the_digest() {
+        let mut reported = FleetState::build(tiny_config());
+        let mut untouched = FleetState::build(tiny_config());
+        let d0 = reported.mutation_digest();
+        assert!(reported.fold_report(4, DutyCycle::new(0.1)));
+        assert_ne!(reported.mutation_digest(), d0);
+        assert!(!reported.fold_report(10, DutyCycle::new(0.5)));
+        reported.advance_epoch();
+        untouched.advance_epoch();
+        let low_duty = reported.chip_view(4).map(|(s, r)| s.bank.summary_range(r).delta_vth);
+        let dc = untouched.chip_view(4).map(|(s, r)| s.bank.summary_range(r).delta_vth);
+        assert!(low_duty < dc, "a 10 % duty chip must age slower than DC");
+    }
+
+    #[test]
+    fn chip_views_cover_exactly_the_fleet() {
+        let fleet = FleetState::build(tiny_config());
+        for chip in 0..10 {
+            let (shard, range) = match fleet.chip_view(chip) {
+                Some(view) => view,
+                None => panic!("chip {chip} must resolve"),
+            };
+            assert!(range.end <= shard.bank.len());
+        }
+        assert!(fleet.chip_view(10).is_none());
+    }
+}

@@ -159,6 +159,36 @@ impl ResultCache {
         (value, CacheOutcome::Miss)
     }
 
+    /// Stores `value` under `(namespace, version, key)` unconditionally,
+    /// overwriting any previous entry at that key.
+    ///
+    /// Unlike [`ResultCache::get_or_compute`] — a memo table for *pure*
+    /// recomputable results — `store_record`/[`load_record`](ResultCache::load_record) make the
+    /// cache usable as an explicit checkpoint store: the fleet daemon
+    /// persists epoch snapshots whose content depends on the request
+    /// history, not on the key alone, so the caller owns the
+    /// write-then-read protocol. The write is atomic (sibling temp file
+    /// + rename) and best-effort, exactly like memoized writes.
+    pub fn store_record<T: CacheRecord>(&self, namespace: &str, version: u32, key: &str, value: &T) {
+        if !self.is_active() {
+            return;
+        }
+        let path = self.entry_path(namespace, version, key);
+        self.write_entry(&path, namespace, version, key, value);
+    }
+
+    /// Reads the entry stored under `(namespace, version, key)`, or
+    /// `None` when it is absent, corrupt, or fails read-time key
+    /// verification. Never computes anything.
+    #[must_use]
+    pub fn load_record<T: CacheRecord>(&self, namespace: &str, version: u32, key: &str) -> Option<T> {
+        if !self.is_active() {
+            return None;
+        }
+        let path = self.entry_path(namespace, version, key);
+        self.read_entry(&path, namespace, version, key)
+    }
+
     /// The on-disk location for an entry (exposed for tests/tools).
     #[must_use]
     pub fn entry_path(&self, namespace: &str, version: u32, key: &str) -> PathBuf {
@@ -286,6 +316,27 @@ mod tests {
         let (v, o) = cache.get_or_compute("t", 1, "k", || vec![4.0]);
         assert_eq!(o, CacheOutcome::Miss);
         assert_eq!(v, vec![4.0]);
+    }
+
+    #[test]
+    fn record_store_round_trips_and_overwrites() {
+        let cache = ResultCache::at(temp_root("putget"));
+        assert_eq!(cache.load_record::<Vec<f64>>("ckpt", 1, "epoch=3"), None);
+        cache.store_record("ckpt", 1, "epoch=3", &vec![1.0, 2.0]);
+        assert_eq!(
+            cache.load_record::<Vec<f64>>("ckpt", 1, "epoch=3"),
+            Some(vec![1.0, 2.0])
+        );
+        // A checkpoint store must overwrite, not memoize.
+        cache.store_record("ckpt", 1, "epoch=3", &vec![7.0]);
+        assert_eq!(
+            cache.load_record::<Vec<f64>>("ckpt", 1, "epoch=3"),
+            Some(vec![7.0])
+        );
+        // Disabled caches neither store nor read.
+        let off = ResultCache::disabled();
+        off.store_record("ckpt", 1, "k", &vec![1.0]);
+        assert_eq!(off.load_record::<Vec<f64>>("ckpt", 1, "k"), None);
     }
 
     #[test]

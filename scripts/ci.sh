@@ -16,7 +16,10 @@ echo "== cargo build --release" >&2
 cargo build --release
 
 echo "== cargo test" >&2
-cargo test -q
+# --workspace: the root package holds the cross-crate tier-1 suites, but
+# per-crate tests (fleet resume/protocol, analyzer fixtures, ...) live
+# in their own crates and must run too.
+cargo test -q --workspace
 
 echo "== cargo analyzer check" >&2
 # Includes the workspace dataflow pass: any deterministic root reaching
@@ -62,5 +65,29 @@ assert stamps, "sampler wrote no time-series ticks"
 assert all(a < b for a, b in zip(stamps, stamps[1:])), "ts_ns not monotone"
 print(f"timeseries: {len(stamps)} ticks, ts_ns strictly monotone")
 PY
+
+echo "== fleet daemon smoke" >&2
+# End-to-end service path: fleetd on an ephemeral loopback port with a
+# small fleet and an isolated checkpoint store, one request of each type
+# via fleet_storm --smoke, the live status file re-checked, and a clean
+# shutdown that must leave a final checkpoint behind.
+SELFHEAL_TELEMETRY_SAMPLE=50ms \
+    target/release/fleetd --chips 256 --shards 4 --workers 2 \
+    --epoch-ms 100 --checkpoint-every 0 --cache-dir "$SMOKE_DIR/fleet-cache" \
+    --status "$SMOKE_DIR/fleet.prom" --addr-file "$SMOKE_DIR/fleet.addr" &
+FLEETD_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/fleet.addr" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/fleet.addr" ] || { echo "fleetd never published its address" >&2; exit 1; }
+# Let a couple of wall-clock epochs land before poking it.
+sleep 0.3
+target/release/fleet_storm --smoke --connect "$(cat "$SMOKE_DIR/fleet.addr")" --shutdown
+wait "$FLEETD_PID"
+target/release/selfheal-top --check "$SMOKE_DIR/fleet.prom"
+CKPTS=$(find "$SMOKE_DIR/fleet-cache" -name '*.json' | wc -l)
+[ "$CKPTS" -ge 2 ] || { echo "no final checkpoint written (found $CKPTS cache files)" >&2; exit 1; }
+echo "fleet smoke: clean shutdown, $CKPTS checkpoint file(s)" >&2
 
 echo "ci: all gates green" >&2
