@@ -1,0 +1,108 @@
+//! Fleet-scale macrobenchmark: full-resolution vs tiered epoch advance.
+//!
+//! Builds the same fleet twice — once untiered (every chip's trap slice
+//! advanced every epoch) and once with the tiered analytic/trap
+//! integrator — and times steady-state epoch advances at 100k and 1M
+//! chips. After a short warm-up, most chips in the tiered fleet sit in
+//! the cold tier, where an epoch costs one integer wake-check instead
+//! of a trap-bank traversal; the ledger tracks the wall milliseconds
+//! per epoch for both variants.
+//!
+//! Accuracy is *not* traded for this speed inside the benchmark's
+//! margin: `tests/tiered_accuracy.rs` pins the tiered fleet within the
+//! guard band of the full-resolution one, and the resume suite pins its
+//! determinism. This bin only measures the wall-clock gap.
+//!
+//! ```text
+//! cargo run -p selfheal-bench --release --bin tiered_fleet -- --json
+//! ```
+
+use std::time::Instant;
+
+use selfheal_bench::{fmt, BenchRun, Table};
+use selfheal_fleet::{FleetConfig, FleetState};
+
+/// Fleet sizes swept, in chips.
+const SIZES: [usize; 2] = [100_000, 1_000_000];
+/// Epochs run before the clock starts. Demotion itself converges within
+/// the first dozen epochs, but early cold windows are short (demotion
+/// rates are still high), so wake-rehydration traffic keeps falling for
+/// a few dozen more as each re-demotion earns a longer window. Forty
+/// epochs lands the timed window in that steady state.
+const WARMUP_EPOCHS: u64 = 40;
+/// Epochs averaged for the quoted per-epoch time.
+const TIMED_EPOCHS: u64 = 8;
+
+fn fleet_config(chips: usize, tiered: bool) -> FleetConfig {
+    let mut config = FleetConfig::default();
+    config.chips = chips;
+    // Enough shards that every pool worker stays busy at either size.
+    config.shards = 64;
+    config.seed = 2014;
+    config.trap_params.mean_trap_count = 8.0;
+    config.tiered = tiered;
+    config
+}
+
+/// Steady-state epoch cost: warm up, then average the timed window.
+fn ms_per_epoch(state: &mut FleetState) -> f64 {
+    for _ in 0..WARMUP_EPOCHS {
+        state.advance_epoch();
+    }
+    let started = Instant::now();
+    for _ in 0..TIMED_EPOCHS {
+        state.advance_epoch();
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let per_epoch = started.elapsed().as_secs_f64() * 1e3 / TIMED_EPOCHS as f64;
+    per_epoch
+}
+
+fn main() {
+    let mut run = BenchRun::start("tiered_fleet");
+    run.say("Fleet epoch advance: full trap resolution vs tiered integrator\n");
+
+    let mut table = Table::new(&[
+        "chips",
+        "full (ms/epoch)",
+        "tiered (ms/epoch)",
+        "cold chips",
+        "speedup",
+    ]);
+
+    for &chips in &SIZES {
+        let phase = run.phase_named(format!("fleet_{chips}"));
+
+        let mut full = FleetState::build(fleet_config(chips, false));
+        let full_ms = ms_per_epoch(&mut full);
+        drop(full);
+
+        let mut tiered = FleetState::build(fleet_config(chips, true));
+        let tiered_ms = ms_per_epoch(&mut tiered);
+        let counts = tiered.tier_counts();
+        drop(tiered);
+        drop(phase);
+
+        let speedup = full_ms / tiered_ms;
+        #[allow(clippy::cast_precision_loss)]
+        let cold_fraction = counts.cold as f64 / chips as f64;
+        table.row(&[
+            &chips.to_string(),
+            &fmt(full_ms, 2),
+            &fmt(tiered_ms, 2),
+            &format!("{} ({:.0}%)", counts.cold, cold_fraction * 100.0),
+            &format!("{speedup:.1}x"),
+        ]);
+        run.value(&format!("full_ms_per_epoch_{chips}"), full_ms);
+        run.value(&format!("tiered_ms_per_epoch_{chips}"), tiered_ms);
+        run.value(&format!("speedup_{chips}"), speedup);
+        run.value(&format!("cold_fraction_{chips}"), cold_fraction);
+    }
+
+    run.table(&table);
+    run.say(
+        "\nThe tiered fleet pays trap-resolution cost only for hot/pinned chips and\n\
+         wake-epoch rehydrations; a cold chip's epoch is one integer compare.",
+    );
+    run.finish("sizes=100k,1M shards=64 traps/chip=8 warmup=40 timed=8 guard_band=10mV");
+}

@@ -1,18 +1,28 @@
 //! Kernel microbenchmark: per-trap scalar advance vs hoisted rates vs
-//! the SoA [`TrapBank`] fast path, at 1k / 10k / 100k traps.
+//! the SoA [`TrapBank`] fast path vs the cache-blocked batched-phase
+//! traversal, at 1k / 10k / 100k / 1M traps.
 //!
 //! Run with `cargo run -p selfheal-bench --release --bin trap_kernel --
-//! --out BENCH_kernel.json` to record the manifest the kernel's ≥3×
-//! speedup claim is pinned against. The three variants are bit-for-bit
+//! --out BENCH_kernel.json` to record the manifest the kernel's speedup
+//! claims are pinned against. All four variants are bit-for-bit
 //! interchangeable (`tests/kernel_equivalence.rs` is the gate); only
-//! wall-clock separates them:
+//! wall-clock separates them. Each is timed over the same four-phase
+//! schedule (stress / recovery / AC stress / recovery):
 //!
-//! * **scalar** — `Trap::advance` per trap: every trap re-derives the
-//!   phase's rate multipliers (the pre-kernel cost profile);
+//! * **scalar** — `Trap::advance` per trap per phase: every trap
+//!   re-derives the phase's rate multipliers (the pre-kernel cost
+//!   profile);
 //! * **hoisted** — [`PhaseRates`] evaluated once per phase step, traps
 //!   advanced through `Trap::advance_with_rates` on an AoS `Vec<Trap>`;
-//! * **soa** — the full kernel: hoisted rates *and* the
-//!   structure-of-arrays bank behind [`TrapEnsemble::advance`].
+//! * **soa** — the chunked kernel, one [`TrapEnsemble::advance`] call
+//!   per phase: hoisted rates *and* the structure-of-arrays bank;
+//! * **batched** — one [`TrapEnsemble::advance_phases`] call for the
+//!   whole schedule: the bank is traversed **once** per batch, every
+//!   chunk threaded through all four phases while it is cache-resident.
+//!
+//! The headline `speedup_<size>` is scalar vs batched. The batched
+//! column is what removes the out-of-cache cliff the sequential soa
+//! path hits past ~100k traps — per-trap cost at 1M should match 10k.
 
 use std::time::Instant;
 
@@ -24,9 +34,24 @@ use selfheal_bti::{DeviceCondition, Environment};
 use selfheal_units::{Celsius, Millivolts, Minutes, Seconds, Volts};
 
 /// Sizes swept, in traps per ensemble.
-const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
 /// The size the headline speedup number is quoted at.
 const HEADLINE: usize = 10_000;
+
+/// The four-phase schedule every variant steps through per repetition.
+/// A short step keeps occupancies moving (exp cost is value-independent
+/// anyway), so repeated advances model a sampling loop, not a no-op.
+fn phase_batch() -> Vec<(DeviceCondition, Seconds)> {
+    let hot = Environment::new(Volts::new(1.2), Celsius::new(110.0));
+    let heal = Environment::new(Volts::new(-0.3), Celsius::new(110.0));
+    let dt: Seconds = Minutes::new(20.0).into();
+    vec![
+        (DeviceCondition::dc_stress(hot), dt),
+        (DeviceCondition::recovery(heal), dt),
+        (DeviceCondition::ac_stress(hot), dt),
+        (DeviceCondition::recovery(heal), dt),
+    ]
+}
 
 /// Builds an ensemble of *exactly* `size` traps drawn from the default
 /// 40 nm distributions. ([`TrapEnsemble::sample`] draws a Poisson count,
@@ -52,11 +77,11 @@ fn ensemble_of(size: usize, seed: u64) -> TrapEnsemble {
     TrapEnsemble::from_traps(traps)
 }
 
-/// Times `step` over enough repetitions to cover ~`budget_traps` trap
-/// updates, returning mean nanoseconds per repetition. One untimed
-/// warm-up repetition precedes the clock.
-fn time_per_step(budget_traps: usize, count: usize, mut step: impl FnMut()) -> f64 {
-    let reps = (budget_traps / count).max(3);
+/// Times `step` (one full four-phase batch) over enough repetitions to
+/// cover ~`budget` trap·steps, returning mean nanoseconds per
+/// repetition. One untimed warm-up repetition precedes the clock.
+fn time_per_batch(budget: usize, trap_steps: usize, mut step: impl FnMut()) -> f64 {
+    let reps = (budget / trap_steps).max(3);
     step();
     let started = Instant::now();
     for _ in 0..reps {
@@ -67,19 +92,17 @@ fn time_per_step(budget_traps: usize, count: usize, mut step: impl FnMut()) -> f
 
 fn main() {
     let mut run = BenchRun::start("trap_kernel");
-    run.say("Trap-kinetics kernel: scalar vs hoisted vs SoA bank\n");
+    run.say("Trap-kinetics kernel: scalar vs hoisted vs SoA bank vs batched phases\n");
 
-    let cond = DeviceCondition::dc_stress(Environment::new(Volts::new(1.2), Celsius::new(110.0)));
-    // A short step keeps occupancies moving (exp cost is value-independent
-    // anyway), so repeated advances model a sampling loop, not a no-op.
-    let dt: Seconds = Minutes::new(20.0).into();
-    let budget = 2_000_000;
+    let batch = phase_batch();
+    let budget = 8_000_000;
 
     let mut table = Table::new(&[
         "traps",
-        "scalar (ns/trap)",
-        "hoisted (ns/trap)",
-        "soa (ns/trap)",
+        "scalar (ns/trap-step)",
+        "hoisted (ns/trap-step)",
+        "soa (ns/trap-step)",
+        "batched (ns/trap-step)",
         "speedup",
     ]);
     let mut headline_speedup = 0.0;
@@ -91,52 +114,69 @@ fn main() {
         let ensemble = ensemble_of(size, 2014 + i as u64);
         let traps: Vec<Trap> = ensemble.iter().collect();
         let count = traps.len();
+        let trap_steps = count * batch.len();
 
         let mut scalar = traps.clone();
-        let scalar_ns = time_per_step(budget, count, || {
-            for trap in &mut scalar {
-                trap.advance(cond, dt);
+        let scalar_ns = time_per_batch(budget, trap_steps, || {
+            for &(cond, dt) in &batch {
+                for trap in &mut scalar {
+                    trap.advance(cond, dt);
+                }
             }
         });
 
         let mut hoisted = traps.clone();
-        let hoisted_ns = time_per_step(budget, count, || {
-            let rates = PhaseRates::for_condition(cond);
-            for trap in &mut hoisted {
-                trap.advance_with_rates(&rates, dt);
+        let hoisted_ns = time_per_batch(budget, trap_steps, || {
+            for &(cond, dt) in &batch {
+                let rates = PhaseRates::for_condition(cond);
+                for trap in &mut hoisted {
+                    trap.advance_with_rates(&rates, dt);
+                }
             }
         });
 
         let mut soa = ensemble.clone();
-        let soa_ns = time_per_step(budget, count, || {
-            soa.advance(cond, dt);
+        let soa_ns = time_per_batch(budget, trap_steps, || {
+            for &(cond, dt) in &batch {
+                soa.advance(cond, dt);
+            }
+        });
+
+        let mut batched = ensemble.clone();
+        let batched_ns = time_per_batch(budget, trap_steps, || {
+            batched.advance_phases(&batch);
         });
         drop(phase);
 
-        let per_trap = |total_ns: f64| total_ns / count as f64;
-        let speedup = scalar_ns / soa_ns;
+        #[allow(clippy::cast_precision_loss)]
+        let per_step = |total_ns: f64| total_ns / trap_steps as f64;
+        let speedup = scalar_ns / batched_ns;
         if size == HEADLINE {
             headline_speedup = speedup;
         }
         table.row(&[
             &count.to_string(),
-            &fmt(per_trap(scalar_ns), 2),
-            &fmt(per_trap(hoisted_ns), 2),
-            &fmt(per_trap(soa_ns), 2),
+            &fmt(per_step(scalar_ns), 2),
+            &fmt(per_step(hoisted_ns), 2),
+            &fmt(per_step(soa_ns), 2),
+            &fmt(per_step(batched_ns), 2),
             &format!("{speedup:.2}x"),
         ]);
-        run.value(&format!("scalar_ns_per_trap_{size}"), per_trap(scalar_ns));
-        run.value(&format!("hoisted_ns_per_trap_{size}"), per_trap(hoisted_ns));
-        run.value(&format!("soa_ns_per_trap_{size}"), per_trap(soa_ns));
+        run.value(&format!("scalar_ns_per_trap_step_{size}"), per_step(scalar_ns));
+        run.value(&format!("hoisted_ns_per_trap_step_{size}"), per_step(hoisted_ns));
+        run.value(&format!("soa_ns_per_trap_step_{size}"), per_step(soa_ns));
+        run.value(&format!("batched_ns_per_trap_step_{size}"), per_step(batched_ns));
         run.value(&format!("speedup_{size}"), speedup);
     }
 
     run.table(&table);
     run.say(format!(
-        "\nheadline: {headline_speedup:.2}x at {HEADLINE} traps (scalar loop vs SoA kernel).\n\
-         The gap is the hoist — one rate-multiplier evaluation per phase step instead\n\
-         of one per trap — compounded by the bank's flat, branch-light inner loop.",
+        "\nheadline: {headline_speedup:.2}x at {HEADLINE} traps (scalar loop vs batched kernel).\n\
+         The gap is the hoist (one rate evaluation per phase, not per trap), the bank's\n\
+         flat chunked inner loop, and the batch traversal paying memory traffic once\n\
+         per schedule instead of once per phase — which is what holds the per-trap\n\
+         cost flat from 10k to 1M traps.",
     ));
     run.value("speedup_10k", headline_speedup);
-    run.finish("sizes=1k,10k,100k condition=DC/1.2V/110C dt=20min budget=2e6 traps/step");
+    run.finish("sizes=1k,10k,100k,1M schedule=DC/rec/AC/rec dt=20min budget=8e6 trap-steps/variant");
 }

@@ -56,7 +56,17 @@ use super::trap::Trap;
 /// Result-cache namespaces that store kernel-derived outputs (fabric
 /// surveys, per-chip experiment runs) use this as their version, so a
 /// kernel rewrite orphans stale entries instead of replaying them.
-pub const KERNEL_VERSION: u32 = 2;
+pub const KERNEL_VERSION: u32 = 3;
+
+/// Fixed chunk width of the advance kernels, in traps.
+///
+/// The hot loops process the SoA columns in blocks of this many lanes
+/// (one AVX-512 register of `f64`, two AVX2 registers) with a scalar
+/// tail, so the per-lane divisions and multiplies autovectorize while
+/// the reductions still accumulate in strict trap-index order. Exposed
+/// so the equivalence tests can pin the chunk-boundary sizes
+/// (`LANES − 1`, `LANES`, `LANES + 1`) explicitly.
+pub const LANES: usize = 8;
 
 /// The two condition-dependent rate multipliers, evaluated once per
 /// phase instead of once per trap.
@@ -303,36 +313,14 @@ impl TrapBank {
     ///
     /// This is the hot kernel: one division pair, one `exp`, and a
     /// clamp per trap — the transcendentals in the rate multipliers are
-    /// already paid for in `rates`. The occupancy sums entering and
-    /// leaving the step accumulate in the same loop, so callers get the
-    /// telemetry deltas for free instead of re-scanning the ensemble.
+    /// already paid for in `rates`. The loop runs in [`LANES`]-wide
+    /// chunks (plus a scalar tail) so the divisions and multiplies
+    /// autovectorize; the occupancy sums entering and leaving the step
+    /// still accumulate in strict trap index order, so callers get the
+    /// telemetry deltas for free *and* bit-identical to the old scalar
+    /// accumulation.
     pub fn advance_all(&mut self, rates: &PhaseRates, dt: Seconds) -> AdvanceStats {
-        let step_enabled = !dt.is_zero_or_negative();
-        let neg_dt = -dt.get();
-        // Accumulators start at -0.0 to match `Iterator::sum::<f64>()`,
-        // which the scalar path these replaced folded from; the two
-        // starts differ only in the sign bit of an empty bank's sum.
-        let mut occupied_before = -0.0;
-        let mut occupied_after = -0.0;
-        for i in 0..self.occupancy.len() {
-            let p = self.occupancy[i];
-            occupied_before += p;
-            if step_enabled {
-                let (p_inf, tau) = rates.relaxation(self.tau_c0[i], self.tau_e[i]);
-                if !tau.is_infinite() {
-                    let decay = (neg_dt / tau).exp();
-                    let next = (p_inf + (p - p_inf) * decay).clamp(0.0, 1.0);
-                    self.occupancy[i] = next;
-                    occupied_after += next;
-                    continue;
-                }
-            }
-            occupied_after += p;
-        }
-        AdvanceStats {
-            occupied_before,
-            occupied_after,
-        }
+        self.advance_range(0..self.occupancy.len(), rates, dt)
     }
 
     /// Advances the traps in `range` by `dt` under pre-evaluated rates,
@@ -341,10 +329,11 @@ impl TrapBank {
     /// This is the shard-level entry point: a fleet shard stores many
     /// chips' traps contiguously in one bank and advances each chip's
     /// slice under that chip's own condition. The per-trap arithmetic is
-    /// exactly [`advance_all`](TrapBank::advance_all)'s, so advancing a
-    /// bank chip-range by chip-range under one shared condition is
-    /// bit-identical to one whole-bank advance — except that the
-    /// [`AdvanceStats`] sums cover only the range.
+    /// exactly [`advance_all`](TrapBank::advance_all)'s (they share the
+    /// chunked span kernel), so advancing a bank chip-range by
+    /// chip-range under one shared condition is bit-identical to one
+    /// whole-bank advance — except that the [`AdvanceStats`] sums cover
+    /// only the range.
     ///
     /// # Panics
     ///
@@ -356,25 +345,104 @@ impl TrapBank {
         dt: Seconds,
     ) -> AdvanceStats {
         assert!(range.end <= self.occupancy.len(), "range out of bounds");
-        let step_enabled = !dt.is_zero_or_negative();
-        let neg_dt = -dt.get();
+        // A reversed range advances nothing, like the loop it replaced.
+        let start = range.start.min(range.end);
+        let end = range.end;
+        // Accumulators start at -0.0 to match `Iterator::sum::<f64>()`,
+        // which the scalar path these replaced folded from; the two
+        // starts differ only in the sign bit of an empty bank's sum.
+        let mut occupied_before = -0.0;
+        let mut occupied_after = -0.0;
+        if dt.is_zero_or_negative() {
+            // Frozen step: both sums walk the unchanged occupancies.
+            for i in start..end {
+                let p = self.occupancy[i];
+                occupied_before += p;
+                occupied_after += p;
+            }
+        } else {
+            advance_span(
+                &self.tau_c0[start..end],
+                &self.tau_e[start..end],
+                &mut self.occupancy[start..end],
+                rates,
+                -dt.get(),
+                &mut occupied_before,
+                &mut occupied_after,
+            );
+        }
+        AdvanceStats {
+            occupied_before,
+            occupied_after,
+        }
+    }
+
+    /// Advances every trap through a whole batch of phases in **one**
+    /// traversal of the bank.
+    ///
+    /// Sequential [`advance_all`](TrapBank::advance_all) calls walk the
+    /// SoA columns once per phase; past L2-sized banks every walk pays
+    /// full memory traffic, which is the 100k-trap cache cliff. Here
+    /// each [`LANES`]-sized chunk is carried through *all* phases while
+    /// hot in cache, so the traffic is paid once per batch. Per-trap
+    /// evolution is independent and the per-phase arithmetic is exactly
+    /// `advance_all`'s, so the resulting occupancies are bit-identical
+    /// to issuing the phases one at a time (pinned in
+    /// `tests/kernel_equivalence.rs`). Zero-length phases are frozen
+    /// no-ops, exactly as in `advance_all`.
+    ///
+    /// The returned stats sum the occupancies entering the first phase
+    /// and leaving the last, both in trap index order — the same values
+    /// the first and last call of the equivalent `advance_all` sequence
+    /// report.
+    pub fn advance_phases(&mut self, phases: &[(PhaseRates, Seconds)]) -> AdvanceStats {
+        let steps: Vec<(PhaseRates, f64)> = phases
+            .iter()
+            .filter(|(_, dt)| !dt.is_zero_or_negative())
+            .map(|&(rates, dt)| (rates, -dt.get()))
+            .collect();
         // -0.0 starts for `Iterator::sum` parity — see `advance_all`.
         let mut occupied_before = -0.0;
         let mut occupied_after = -0.0;
-        for i in range {
-            let p = self.occupancy[i];
+        let n = self.occupancy.len();
+        let whole = n - n % LANES;
+        let mut i = 0;
+        while i < whole {
+            for j in 0..LANES {
+                occupied_before += self.occupancy[i + j];
+            }
+            for &(ref rates, neg_dt) in &steps {
+                let mut next = [0.0f64; LANES];
+                for j in 0..LANES {
+                    let p = self.occupancy[i + j];
+                    let (p_inf, tau) = rates.relaxation(self.tau_c0[i + j], self.tau_e[i + j]);
+                    next[j] = if tau.is_infinite() {
+                        p
+                    } else {
+                        let decay = (neg_dt / tau).exp();
+                        (p_inf + (p - p_inf) * decay).clamp(0.0, 1.0)
+                    };
+                }
+                self.occupancy[i..i + LANES].copy_from_slice(&next);
+            }
+            for j in 0..LANES {
+                occupied_after += self.occupancy[i + j];
+            }
+            i += LANES;
+        }
+        for k in whole..n {
+            let p = self.occupancy[k];
             occupied_before += p;
-            if step_enabled {
-                let (p_inf, tau) = rates.relaxation(self.tau_c0[i], self.tau_e[i]);
+            let mut value = p;
+            for &(ref rates, neg_dt) in &steps {
+                let (p_inf, tau) = rates.relaxation(self.tau_c0[k], self.tau_e[k]);
                 if !tau.is_infinite() {
                     let decay = (neg_dt / tau).exp();
-                    let next = (p_inf + (p - p_inf) * decay).clamp(0.0, 1.0);
-                    self.occupancy[i] = next;
-                    occupied_after += next;
-                    continue;
+                    value = (p_inf + (value - p_inf) * decay).clamp(0.0, 1.0);
                 }
             }
-            occupied_after += p;
+            self.occupancy[k] = value;
+            occupied_after += value;
         }
         AdvanceStats {
             occupied_before,
@@ -464,6 +532,63 @@ impl TrapBank {
     pub fn reset(&mut self) {
         for p in &mut self.occupancy {
             *p = 0.0;
+        }
+    }
+}
+
+/// The chunked hot loop shared by [`TrapBank::advance_all`] and
+/// [`TrapBank::advance_range`]: [`LANES`]-wide blocks over the SoA
+/// column slices with a scalar tail.
+///
+/// Each block first evaluates every lane's next occupancy (the lanes
+/// are independent, so the divisions, multiplies and clamps
+/// autovectorize), then accumulates the before/after sums and stores
+/// the results in strict trap index order — bit-identical to the scalar
+/// loop this replaced, whose accumulation order the `AdvanceStats`
+/// contract pins.
+#[allow(clippy::too_many_arguments)]
+fn advance_span(
+    tau_c0: &[f64],
+    tau_e: &[f64],
+    occupancy: &mut [f64],
+    rates: &PhaseRates,
+    neg_dt: f64,
+    occupied_before: &mut f64,
+    occupied_after: &mut f64,
+) {
+    let n = occupancy.len();
+    let whole = n - n % LANES;
+    let mut i = 0;
+    while i < whole {
+        let mut next = [0.0f64; LANES];
+        for j in 0..LANES {
+            let p = occupancy[i + j];
+            let (p_inf, tau) = rates.relaxation(tau_c0[i + j], tau_e[i + j]);
+            next[j] = if tau.is_infinite() {
+                p
+            } else {
+                let decay = (neg_dt / tau).exp();
+                (p_inf + (p - p_inf) * decay).clamp(0.0, 1.0)
+            };
+        }
+        for j in 0..LANES {
+            *occupied_before += occupancy[i + j];
+            *occupied_after += next[j];
+            occupancy[i + j] = next[j];
+        }
+        i += LANES;
+    }
+    for k in whole..n {
+        let p = occupancy[k];
+        *occupied_before += p;
+        let (p_inf, tau) = rates.relaxation(tau_c0[k], tau_e[k]);
+        if !tau.is_infinite() {
+            let decay = (neg_dt / tau).exp();
+            let next = (p_inf + (p - p_inf) * decay).clamp(0.0, 1.0);
+            occupancy[k] = next;
+            *occupied_after += next;
+        } else {
+            *occupied_after += p;
         }
     }
 }

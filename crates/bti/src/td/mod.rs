@@ -16,12 +16,15 @@ mod ensemble;
 pub mod kernel;
 mod kinetics;
 mod population;
+pub mod tiered;
 mod trap;
 
 pub use ensemble::{TrapEnsemble, TrapEnsembleParams};
 pub use kernel::{
     AdvanceStats, BankSummary, PhaseRateCache, PhaseRates, TrapBank, TrapIter, KERNEL_VERSION,
+    LANES,
 };
+pub use tiered::{ChipTier, ColdChip, TierCounts, TierPolicy};
 pub use population::{advance_population, sample_population, sample_population_cached};
 pub use kinetics::{
     capture_rate_multiplier, emission_rate_multiplier, emission_thermal_speedup,

@@ -244,6 +244,32 @@ impl SchedulePlanner {
         projection.summary().delta_vth
     }
 
+    /// The analytic counterpart of
+    /// [`predicted_shift_from_bank`](Self::predicted_shift_from_bank):
+    /// resumes the fitted stress curve at the equivalent time of
+    /// `current` under `cond` and projects it `dt` forward, in closed
+    /// form. This is how a tiered fleet serves `predict` for cold chips
+    /// without materializing (or advancing a copy of) their frozen trap
+    /// slices.
+    ///
+    /// A zero duty cycle inflicts nothing, so the projection is
+    /// `current` itself; stress aging is monotone, so the result is
+    /// never below `current`.
+    #[must_use]
+    pub fn predicted_shift_analytic(
+        &self,
+        current: Millivolts,
+        cond: DeviceCondition,
+        dt: Seconds,
+    ) -> Millivolts {
+        if cond.stress_duty().get() <= 0.0 {
+            return current;
+        }
+        let t_eq = self.stress.equivalent_time_with_duty(current, cond);
+        let projected = self.stress.delta_vth_with_duty(t_eq + dt, cond);
+        Millivolts::new(projected.get().max(current.get()))
+    }
+
     fn plan_for(
         &self,
         alpha: Ratio,
@@ -403,6 +429,36 @@ mod tests {
             )
             .is_none());
         assert_eq!(p.remaining_margin(Millivolts::new(30.0)), None);
+    }
+
+    #[test]
+    fn analytic_projection_resumes_the_stress_curve() {
+        use selfheal_units::DutyCycle;
+
+        let p = planner(30.0);
+        let env = Environment::new(Volts::new(1.2), Celsius::new(90.0));
+        let cond = DeviceCondition::new(env, DutyCycle::new(0.6));
+        let current = Millivolts::new(8.0);
+        let dt: Seconds = Hours::new(24.0).into();
+
+        // Stressed projection grows, monotonically in dt.
+        let one_day = p.predicted_shift_analytic(current, cond, dt);
+        let two_days = p.predicted_shift_analytic(current, cond, Seconds::new(2.0 * dt.get()));
+        assert!(one_day.get() > current.get());
+        assert!(two_days.get() > one_day.get());
+
+        // Resuming is consistent: projecting 2·dt at once equals
+        // projecting dt from the dt-projection (the curve has no memory
+        // beyond its equivalent time).
+        let chained = p.predicted_shift_analytic(one_day, cond, dt);
+        assert!(
+            (chained.get() - two_days.get()).abs() < 1e-9 * two_days.get(),
+            "chained {chained} vs direct {two_days}"
+        );
+
+        // Idle chips do not age.
+        let idle = DeviceCondition::new(env, DutyCycle::new(0.0));
+        assert_eq!(p.predicted_shift_analytic(current, idle, dt), current);
     }
 
     #[test]

@@ -14,9 +14,10 @@
 //! resumed daemon can only ever load a snapshot produced by the exact
 //! request history it claims.
 
-use selfheal_bti::td::KERNEL_VERSION;
+use selfheal_bti::td::{ChipTier, ColdChip, KERNEL_VERSION};
 use selfheal_runtime::{CacheRecord, ResultCache};
 use selfheal_telemetry::Json;
+use selfheal_units::Millivolts;
 
 use crate::config::FleetConfig;
 use crate::state::FleetState;
@@ -25,7 +26,9 @@ use crate::state::FleetState;
 pub const CHECKPOINT_NAMESPACE: &str = "fleet-checkpoint";
 /// Checkpoint format version (bumped on layout changes; the kernel
 /// version rides in the key so kernel changes also invalidate).
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added per-chip integration tiers + cold-chip analytic
+/// state for tiered fleets.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// The latest-checkpoint pointer for one fleet configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +53,9 @@ pub struct FleetCheckpoint {
     pub occupancies: Vec<Vec<f64>>,
     /// Per-shard reported duty cycles, in chip order.
     pub duties: Vec<Vec<f64>>,
+    /// Per-shard chip tiers (with cold chips' analytic anchor and wake
+    /// epoch), in chip order. All-hot in an untiered fleet.
+    pub tiers: Vec<Vec<ChipTier>>,
 }
 
 impl FleetCheckpoint {
@@ -70,6 +76,11 @@ impl FleetCheckpoint {
                 .iter()
                 .map(|s| s.chips.iter().map(|c| c.duty.get()).collect())
                 .collect(),
+            tiers: fleet
+                .shards()
+                .iter()
+                .map(|s| s.chips.iter().map(|c| c.tier).collect())
+                .collect(),
         }
     }
 
@@ -82,20 +93,31 @@ impl FleetCheckpoint {
         let mut fleet = FleetState::build(config);
         if fleet.shards().len() != self.occupancies.len()
             || fleet.shards().len() != self.duties.len()
+            || fleet.shards().len() != self.tiers.len()
         {
             return None;
         }
-        for ((shard, occ), duty) in fleet
+        for (((shard, occ), duty), tier) in fleet
             .shards()
             .iter()
             .zip(&self.occupancies)
             .zip(&self.duties)
+            .zip(&self.tiers)
         {
-            if shard.bank.len() != occ.len() || shard.chips.len() != duty.len() {
+            if shard.bank.len() != occ.len()
+                || shard.chips.len() != duty.len()
+                || shard.chips.len() != tier.len()
+            {
                 return None;
             }
         }
-        fleet.overlay(self.epoch, self.mutation_digest, &self.occupancies, &self.duties);
+        fleet.overlay(
+            self.epoch,
+            self.mutation_digest,
+            &self.occupancies,
+            &self.duties,
+            &self.tiers,
+        );
         (fleet.state_digest() == self.state_digest).then_some(fleet)
     }
 }
@@ -175,6 +197,49 @@ fn vec_f64(json: &Json) -> Option<Vec<f64>> {
     json.as_array()?.iter().map(Json::as_f64).collect()
 }
 
+/// A tier serializes as `"hot"`, `"pinned"`, or
+/// `["cold", anchor_bits, rate_bits, since_epoch, wake_epoch]` (all
+/// four as 16-hex `u64`s — the anchor's and rate's exact bit patterns,
+/// and epochs that may be `u64::MAX`, none of which survives an `f64`
+/// round trip).
+fn tier_json(tier: &ChipTier) -> Json {
+    match tier {
+        ChipTier::Hot => Json::String("hot".into()),
+        ChipTier::Pinned => Json::String("pinned".into()),
+        ChipTier::Cold(cold) => Json::Array(vec![
+            Json::String("cold".into()),
+            u64_hex(cold.anchor.get().to_bits()),
+            u64_hex(cold.rate_mv_per_s.to_bits()),
+            u64_hex(cold.since_epoch),
+            u64_hex(cold.wake_epoch),
+        ]),
+    }
+}
+
+fn json_tier(json: &Json) -> Option<ChipTier> {
+    if let Some(tag) = json.as_str() {
+        return match tag {
+            "hot" => Some(ChipTier::Hot),
+            "pinned" => Some(ChipTier::Pinned),
+            _ => None,
+        };
+    }
+    let parts = json.as_array()?;
+    if parts.len() != 5 || parts[0].as_str()? != "cold" {
+        return None;
+    }
+    Some(ChipTier::Cold(ColdChip {
+        anchor: Millivolts::new(f64::from_bits(hex_u64(&parts[1])?)),
+        rate_mv_per_s: f64::from_bits(hex_u64(&parts[2])?),
+        since_epoch: hex_u64(&parts[3])?,
+        wake_epoch: hex_u64(&parts[4])?,
+    }))
+}
+
+fn vec_tier(json: &Json) -> Option<Vec<ChipTier>> {
+    json.as_array()?.iter().map(json_tier).collect()
+}
+
 impl CacheRecord for CheckpointHead {
     fn to_cache_json(&self) -> Json {
         #[allow(clippy::cast_precision_loss)]
@@ -208,6 +273,15 @@ impl CacheRecord for FleetCheckpoint {
                 "duties".into(),
                 Json::Array(self.duties.iter().map(|s| f64_vec(s)).collect()),
             ),
+            (
+                "tiers".into(),
+                Json::Array(
+                    self.tiers
+                        .iter()
+                        .map(|s| Json::Array(s.iter().map(tier_json).collect()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -228,6 +302,12 @@ impl CacheRecord for FleetCheckpoint {
                 .as_array()?
                 .iter()
                 .map(vec_f64)
+                .collect::<Option<Vec<_>>>()?,
+            tiers: json
+                .get("tiers")?
+                .as_array()?
+                .iter()
+                .map(vec_tier)
                 .collect::<Option<Vec<_>>>()?,
         })
     }

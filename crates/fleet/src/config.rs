@@ -37,6 +37,13 @@ pub struct FleetConfig {
     pub period: Seconds,
     /// Default planning horizon for `PLAN` requests that omit one.
     pub horizon: Seconds,
+    /// Whether chips far from a margin crossing advance on the analytic
+    /// fast path instead of at per-trap resolution every epoch.
+    pub tiered: bool,
+    /// How far below `margin` a chip must stay to remain cold (only
+    /// meaningful with `tiered`; must leave usable margin below the
+    /// threshold).
+    pub guard_band: Millivolts,
 }
 
 impl Default for FleetConfig {
@@ -61,6 +68,8 @@ impl Default for FleetConfig {
             epoch_dt: Seconds::new(3_600.0),
             period: Seconds::new(86_400.0),
             horizon: Seconds::new(30.0 * 86_400.0),
+            tiered: false,
+            guard_band: Millivolts::new(10.0),
         }
     }
 }
@@ -89,7 +98,23 @@ impl FleetConfig {
         if self.epoch_dt.get() <= 0.0 || self.period.get() <= 0.0 || self.horizon.get() <= 0.0 {
             return Err("epoch_dt, period and horizon must be positive".into());
         }
+        if self.tiered
+            && (self.guard_band.get() <= 0.0 || self.guard_band.get() >= self.margin.get())
+        {
+            return Err(format!(
+                "guard band must be positive and below the margin (got {} of {})",
+                self.guard_band, self.margin
+            ));
+        }
         self.trap_params.validate()
+    }
+
+    /// The tier policy this config implies, or `None` when untiered.
+    #[must_use]
+    pub fn tier_policy(&self) -> Option<selfheal_bti::td::TierPolicy> {
+        self.tiered.then(|| {
+            selfheal_bti::td::TierPolicy::new(self.margin, self.guard_band, self.epoch_dt)
+        })
     }
 
     /// A canonical string of every field that determines fleet state —
@@ -100,7 +125,7 @@ impl FleetConfig {
         let p = &self.trap_params;
         format!(
             "chips={};shards={};seed={};traps={:?}x{:?}mv;tauc={:?}..{:?};ratio={:?}..{:?};perm={:?};\
-             env={:?}V@{:?}K;margin={:?};dt={:?};period={:?};horizon={:?}",
+             env={:?}V@{:?}K;margin={:?};dt={:?};period={:?};horizon={:?};tiered={};guard={:?}",
             self.chips,
             self.shards,
             self.seed,
@@ -117,6 +142,8 @@ impl FleetConfig {
             self.epoch_dt.get(),
             self.period.get(),
             self.horizon.get(),
+            self.tiered,
+            self.guard_band.get(),
         )
     }
 
@@ -192,5 +219,30 @@ mod tests {
         reseeded.seed ^= 1;
         assert_ne!(base.cache_key(), reseeded.cache_key());
         assert_eq!(base.cache_key(), base.clone().cache_key());
+
+        // Tiering changes the state trajectory, so it must key caches.
+        let mut tiered = base.clone();
+        tiered.tiered = true;
+        assert_ne!(base.cache_key(), tiered.cache_key());
+        let mut narrower = tiered.clone();
+        narrower.guard_band = Millivolts::new(5.0);
+        assert_ne!(tiered.cache_key(), narrower.cache_key());
+    }
+
+    #[test]
+    fn tiered_guard_band_is_validated() {
+        let mut config = FleetConfig {
+            tiered: true,
+            ..FleetConfig::default()
+        };
+        assert_eq!(config.validate(), Ok(()));
+        assert!(config.tier_policy().is_some());
+        config.guard_band = Millivolts::new(0.0);
+        assert!(config.validate().is_err());
+        config.guard_band = config.margin;
+        assert!(config.validate().is_err());
+        config.tiered = false;
+        assert_eq!(config.validate(), Ok(()), "untiered ignores the band");
+        assert!(config.tier_policy().is_none());
     }
 }

@@ -15,7 +15,9 @@
 
 use std::ops::Range;
 
-use selfheal_bti::td::{PhaseRateCache, TrapBank, TrapEnsemble};
+use selfheal_bti::td::{
+    ChipTier, PhaseRateCache, PhaseRates, TierCounts, TierPolicy, TrapBank, TrapEnsemble,
+};
 use selfheal_bti::DeviceCondition;
 use selfheal_runtime::{par_map, par_map_indexed, SeedSequence};
 use selfheal_telemetry::fnv1a;
@@ -23,14 +25,18 @@ use selfheal_units::{DutyCycle, Millivolts, Seconds};
 
 use crate::config::FleetConfig;
 
-/// One chip's slot inside a shard: its trap slice and the stress duty
-/// cycle it most recently reported.
+/// One chip's slot inside a shard: its trap slice, the stress duty
+/// cycle it most recently reported, and its integration tier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChipSlot {
     /// The chip's trap range inside the shard's bank.
     pub traps: Range<usize>,
     /// The chip's observed stress duty cycle (DC until reported).
     pub duty: DutyCycle,
+    /// The chip's integration tier. Always `Hot` in an untiered fleet;
+    /// in a tiered one, `Cold` chips' bank occupancies are frozen at
+    /// their demotion epoch and their shift is served analytically.
+    pub tier: ChipTier,
 }
 
 /// A contiguous block of chips sharing one trap bank.
@@ -64,6 +70,7 @@ impl Shard {
             chips.push(ChipSlot {
                 traps: start..bank.len(),
                 duty: DutyCycle::default(),
+                tier: ChipTier::Hot,
             });
         }
         Shard {
@@ -74,19 +81,90 @@ impl Shard {
     }
 
     /// Advances every chip in the shard by `dt` under its own observed
-    /// duty cycle at the fleet's active environment. A per-shard
-    /// [`PhaseRateCache`] keeps the common case (most chips still at the
-    /// default duty) at one rate computation per distinct condition.
-    pub fn advance(&mut self, config: &FleetConfig, dt: Seconds) {
+    /// duty cycle at the fleet's active environment, into epoch
+    /// `epoch_end`. A per-shard [`PhaseRateCache`] keeps the common case
+    /// (most chips still at the default duty) at one rate computation
+    /// per distinct condition.
+    ///
+    /// With a [`TierPolicy`] in force, cold chips cost one integer
+    /// comparison: their occupancies stay frozen until `epoch_end`
+    /// reaches their precomputed wake epoch, at which point the whole
+    /// cold window replays as one fused
+    /// [`advance_range`](TrapBank::advance_range) under the chip's
+    /// (constant) condition. Hot chips that end the epoch outside the
+    /// guard band demote; pinned chips never do.
+    pub fn advance(
+        &mut self,
+        config: &FleetConfig,
+        dt: Seconds,
+        epoch_end: u64,
+        policy: Option<&TierPolicy>,
+    ) {
         let mut rates = PhaseRateCache::new();
-        for chip in &self.chips {
-            let cond = DeviceCondition::new(config.active_env, chip.duty);
-            let phase = rates.rates(cond);
-            self.bank.advance_range(chip.traps.clone(), &phase, dt);
+        let Shard { chips, bank, .. } = self;
+        let Some(policy) = policy else {
+            // Untiered: every chip advances at full resolution.
+            for chip in chips.iter_mut() {
+                let cond = DeviceCondition::new(config.active_env, chip.duty);
+                let phase = rates.rates(cond);
+                bank.advance_range(chip.traps.clone(), &phase, dt);
+            }
+            return;
+        };
+        for chip in chips.iter_mut() {
+            // The tier check comes first: at steady state almost every
+            // chip is cold, and a cold epoch must stay at one integer
+            // compare per chip — no condition or rate lookups.
+            match &chip.tier {
+                ChipTier::Cold(cold) => {
+                    if !policy.should_wake(cold, epoch_end) {
+                        continue;
+                    }
+                    // Rehydrate: replay the whole cold window in one
+                    // fused step. The window's mean rate is already the
+                    // upper bound demotion needs, so the chip can go
+                    // straight back to sleep instead of burning a hot
+                    // epoch.
+                    let anchor = cold.anchor;
+                    let window = epoch_end.saturating_sub(cold.since_epoch).max(1);
+                    let elapsed = policy.cold_elapsed(cold, epoch_end);
+                    let cond = DeviceCondition::new(config.active_env, chip.duty);
+                    let phase = rates.rates(cond);
+                    bank.advance_range(chip.traps.clone(), &phase, elapsed);
+                    let current = bank.summary_range(chip.traps.clone()).delta_vth;
+                    chip.tier =
+                        match policy.try_demote(anchor, current, window, cond, epoch_end) {
+                            Some(cold) => ChipTier::Cold(cold),
+                            None => ChipTier::Hot,
+                        };
+                }
+                ChipTier::Hot => {
+                    // Demotion needs the chip's observed per-epoch
+                    // rate, so bracket the advance with two summary
+                    // scans.
+                    let cond = DeviceCondition::new(config.active_env, chip.duty);
+                    let previous = bank.summary_range(chip.traps.clone()).delta_vth;
+                    let phase = rates.rates(cond);
+                    bank.advance_range(chip.traps.clone(), &phase, dt);
+                    let current = bank.summary_range(chip.traps.clone()).delta_vth;
+                    if let Some(cold) = policy.try_demote(previous, current, 1, cond, epoch_end)
+                    {
+                        chip.tier = ChipTier::Cold(cold);
+                    }
+                }
+                ChipTier::Pinned => {
+                    let cond = DeviceCondition::new(config.active_env, chip.duty);
+                    let phase = rates.rates(cond);
+                    bank.advance_range(chip.traps.clone(), &phase, dt);
+                }
+            }
         }
     }
 
-    /// The chip's consumed margin: the ΔVth of its trap slice.
+    /// The chip's consumed margin as recorded in the bank: the ΔVth of
+    /// its trap slice. For a cold chip this is the *frozen* value at its
+    /// demotion epoch — use [`FleetState::chip_consumed`] for the
+    /// tier-aware live value.
     ///
     /// # Panics
     ///
@@ -184,12 +262,14 @@ impl FleetState {
     pub fn advance_epoch(&mut self) {
         let config = self.config.clone();
         let dt = config.epoch_dt;
+        let policy = config.tier_policy();
+        let epoch_end = self.epoch + 1;
         let shards = std::mem::take(&mut self.shards);
         self.shards = par_map(shards, move |mut shard| {
-            shard.advance(&config, dt);
+            shard.advance(&config, dt, epoch_end, policy.as_ref());
             shard
         });
-        self.epoch += 1;
+        self.epoch = epoch_end;
     }
 
     /// Locates a chip: `(shard index, local index)`.
@@ -215,14 +295,68 @@ impl FleetState {
         Some(self.shards[shard].chips[local].duty)
     }
 
+    /// The chip's current integration tier.
+    #[must_use]
+    pub fn chip_tier(&self, chip: usize) -> Option<ChipTier> {
+        let (shard, local) = self.locate(chip)?;
+        Some(self.shards[shard].chips[local].tier)
+    }
+
+    /// The chip's consumed margin right now, tier-aware: hot and pinned
+    /// chips read their exact bank slice; cold chips are served from the
+    /// rate-anchored extrapolation fixed at their demotion point.
+    #[must_use]
+    pub fn chip_consumed(&self, chip: usize) -> Option<Millivolts> {
+        let (shard, local) = self.locate(chip)?;
+        let shard = &self.shards[shard];
+        let slot = &shard.chips[local];
+        Some(match (self.config.tier_policy(), &slot.tier) {
+            (Some(policy), ChipTier::Cold(cold)) => policy.analytic_delta_vth(cold, self.epoch),
+            _ => shard.bank.summary_range(slot.traps.clone()).delta_vth,
+        })
+    }
+
+    /// Per-tier chip counts across the fleet (all-hot when untiered).
+    #[must_use]
+    pub fn tier_counts(&self) -> TierCounts {
+        let mut counts = TierCounts::default();
+        for shard in &self.shards {
+            for chip in &shard.chips {
+                counts.record(&chip.tier);
+            }
+        }
+        counts
+    }
+
     /// Folds a `REPORT` observation into the fleet: the chip's duty
     /// cycle is replaced (shaping its stress from the next epoch on) and
     /// the mutation digest is advanced over `(epoch, chip, duty)`.
     /// Returns `false` for a chip outside the fleet.
+    ///
+    /// In a tiered fleet a mutated duty is exactly the "near a decision"
+    /// signal the tiers respect: a cold chip first replays its cold
+    /// window under the *old* condition (the one it was demoted with),
+    /// then the chip — whatever its tier was — is pinned at full
+    /// resolution for the rest of the run, so its post-report trajectory
+    /// is bit-identical to a never-tiered fleet's.
     pub fn fold_report(&mut self, chip: usize, duty: DutyCycle) -> bool {
         let Some((shard, local)) = self.locate(chip) else {
             return false;
         };
+        if let Some(policy) = self.config.tier_policy() {
+            let slot = &self.shards[shard].chips[local];
+            if let ChipTier::Cold(cold) = slot.tier {
+                let old_cond = DeviceCondition::new(self.config.active_env, slot.duty);
+                let elapsed = policy.cold_elapsed(&cold, self.epoch);
+                let traps = slot.traps.clone();
+                self.shards[shard].bank.advance_range(
+                    traps,
+                    &PhaseRates::for_condition(old_cond),
+                    elapsed,
+                );
+            }
+            self.shards[shard].chips[local].tier = ChipTier::Pinned;
+        }
         self.shards[shard].chips[local].duty = duty;
         let mut bytes = Vec::with_capacity(32);
         bytes.extend_from_slice(&self.mutation_digest.to_be_bytes());
@@ -234,16 +368,22 @@ impl FleetState {
     }
 
     /// One full scan: fleet totals, the worst chip and the count already
-    /// out of budget.
+    /// out of budget. Cold chips contribute their analytic shift.
     #[must_use]
     pub fn aggregates(&self) -> FleetAggregates {
         let margin = self.config.margin.get();
+        let policy = self.config.tier_policy();
         let mut total = 0.0f64;
         let mut worst = 0.0f64;
         let mut over = 0usize;
         for shard in &self.shards {
             for chip in &shard.chips {
-                let mv = shard.bank.summary_range(chip.traps.clone()).delta_vth.get();
+                let mv = match (&policy, &chip.tier) {
+                    (Some(policy), ChipTier::Cold(cold)) => {
+                        policy.analytic_delta_vth(cold, self.epoch).get()
+                    }
+                    _ => shard.bank.summary_range(chip.traps.clone()).delta_vth.get(),
+                };
                 total += mv;
                 if mv > worst {
                     worst = mv;
@@ -274,6 +414,17 @@ impl FleetState {
             }
             for chip in &shard.chips {
                 bytes.extend_from_slice(&chip.duty.get().to_bits().to_be_bytes());
+                match &chip.tier {
+                    ChipTier::Hot => bytes.push(0),
+                    ChipTier::Pinned => bytes.push(1),
+                    ChipTier::Cold(cold) => {
+                        bytes.push(2);
+                        bytes.extend_from_slice(&cold.anchor.get().to_bits().to_be_bytes());
+                        bytes.extend_from_slice(&cold.rate_mv_per_s.to_bits().to_be_bytes());
+                        bytes.extend_from_slice(&cold.since_epoch.to_be_bytes());
+                        bytes.extend_from_slice(&cold.wake_epoch.to_be_bytes());
+                    }
+                }
             }
         }
         fnv1a(&bytes)
@@ -286,19 +437,28 @@ impl FleetState {
     }
 
     /// Overwrites the mutable state from a checkpoint: per-shard
-    /// occupancies, per-chip duties, epoch and mutation digest. The
-    /// caller (the checkpoint module) has already verified shapes.
+    /// occupancies, per-chip duties and tiers, epoch and mutation
+    /// digest. The caller (the checkpoint module) has already verified
+    /// shapes.
     pub(crate) fn overlay(
         &mut self,
         epoch: u64,
         mutation_digest: u64,
         occupancies: &[Vec<f64>],
         duties: &[Vec<f64>],
+        tiers: &[Vec<ChipTier>],
     ) {
-        for ((shard, occ), duty) in self.shards.iter_mut().zip(occupancies).zip(duties) {
+        for (((shard, occ), duty), tier) in self
+            .shards
+            .iter_mut()
+            .zip(occupancies)
+            .zip(duties)
+            .zip(tiers)
+        {
             shard.bank.restore_occupancies(occ);
-            for (chip, d) in shard.chips.iter_mut().zip(duty) {
+            for ((chip, d), t) in shard.chips.iter_mut().zip(duty).zip(tier) {
                 chip.duty = DutyCycle::new(*d);
+                chip.tier = *t;
             }
         }
         self.epoch = epoch;
@@ -353,6 +513,58 @@ mod tests {
         let low_duty = reported.chip_view(4).map(|(s, r)| s.bank.summary_range(r).delta_vth);
         let dc = untouched.chip_view(4).map(|(s, r)| s.bank.summary_range(r).delta_vth);
         assert!(low_duty < dc, "a 10 % duty chip must age slower than DC");
+    }
+
+    fn tiered_config() -> FleetConfig {
+        let mut config = tiny_config();
+        config.tiered = true;
+        config.guard_band = Millivolts::new(10.0);
+        config
+    }
+
+    #[test]
+    fn tiered_epochs_demote_far_from_threshold_chips() {
+        let mut fleet = FleetState::build(tiered_config());
+        assert_eq!(fleet.tier_counts().hot, 10, "fresh fleets start all-hot");
+        fleet.advance_epoch();
+        let counts = fleet.tier_counts();
+        assert!(
+            counts.cold > 0,
+            "one hour in, low-shift chips must go cold (got {counts:?})"
+        );
+        assert_eq!(counts.total(), 10);
+        // Cold chips still serve a finite, positive consumed margin.
+        for chip in 0..10 {
+            let consumed = fleet.chip_consumed(chip).expect("chip resolves");
+            assert!(consumed.get() >= 0.0 && consumed.get().is_finite());
+        }
+        // Cold epochs are frozen in the bank but the analytic value moves.
+        let cold_chip = (0..10)
+            .find(|&c| fleet.chip_tier(c).is_some_and(|t| t.is_cold()))
+            .expect("some chip is cold");
+        let before = fleet.chip_consumed(cold_chip).unwrap();
+        fleet.advance_epoch();
+        fleet.advance_epoch();
+        let after = fleet.chip_consumed(cold_chip).unwrap();
+        assert!(
+            after > before,
+            "a cold stressed chip keeps aging analytically ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn report_rehydrates_and_pins() {
+        let mut fleet = FleetState::build(tiered_config());
+        fleet.advance_epoch();
+        fleet.advance_epoch();
+        let chip = (0..10)
+            .find(|&c| fleet.chip_tier(c).is_some_and(|t| t.is_cold()))
+            .expect("some chip is cold after two epochs");
+        assert!(fleet.fold_report(chip, DutyCycle::new(0.3)));
+        assert_eq!(fleet.chip_tier(chip), Some(ChipTier::Pinned));
+        // Pinned is sticky: further epochs never demote it again.
+        fleet.advance_epoch();
+        assert_eq!(fleet.chip_tier(chip), Some(ChipTier::Pinned));
     }
 
     #[test]

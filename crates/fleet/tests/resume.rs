@@ -80,8 +80,10 @@ fn drive(daemon: &mut FleetDaemon, from: u64, to: u64) -> Vec<String> {
     responses
 }
 
-#[test]
-fn killed_daemon_resumes_bit_exactly_at_any_worker_count() {
+/// The full kill/resume/replay campaign for one configuration: at 1, 2
+/// and 8 workers, an uninterrupted run and a killed-and-resumed run
+/// must produce bit-identical wire logs and state digests.
+fn assert_kill_resume_is_bit_exact(config: &FleetConfig, tag: &str) {
     let mut reference: Option<(Vec<String>, u64)> = None;
 
     for workers in [1usize, 2, 8] {
@@ -89,18 +91,18 @@ fn killed_daemon_resumes_bit_exactly_at_any_worker_count() {
 
         // Uninterrupted run.
         let mut uninterrupted =
-            FleetDaemon::new(campaign_config(), ResultCache::disabled(), 0);
+            FleetDaemon::new(config.clone(), ResultCache::disabled(), 0);
         let full_log = drive(&mut uninterrupted, 0, EPOCHS);
         let full_digest = uninterrupted.state().state_digest();
 
         // Same campaign, killed after KILL_AFTER epochs, resumed.
-        let cache = scratch_cache(&format!("w{workers}"));
-        let mut victim = FleetDaemon::new(campaign_config(), cache.clone(), CHECKPOINT_EVERY);
+        let cache = scratch_cache(&format!("{tag}-w{workers}"));
+        let mut victim = FleetDaemon::new(config.clone(), cache.clone(), CHECKPOINT_EVERY);
         let pre_kill_log = drive(&mut victim, 0, KILL_AFTER);
         drop(victim); // the kill: no final checkpoint, state discarded
 
         let (mut resumed, was_resumed) =
-            FleetDaemon::resume_or_new(campaign_config(), cache, CHECKPOINT_EVERY);
+            FleetDaemon::resume_or_new(config.clone(), cache, CHECKPOINT_EVERY);
         assert!(was_resumed, "a checkpoint must exist to resume from");
         let resumed_at = resumed.state().epoch();
         assert_eq!(
@@ -146,6 +148,38 @@ fn killed_daemon_resumes_bit_exactly_at_any_worker_count() {
             }
         }
     }
+}
+
+#[test]
+fn killed_daemon_resumes_bit_exactly_at_any_worker_count() {
+    assert_kill_resume_is_bit_exact(&campaign_config(), "flat");
+}
+
+#[test]
+fn killed_tiered_daemon_resumes_bit_exactly_at_any_worker_count() {
+    // Same campaign with the tiered integrator in play: checkpoints now
+    // carry per-chip tiers + cold-chip analytic state, reports pin chips
+    // hot mid-campaign, and cold chips are planned/predicted
+    // analytically — all of which must survive kill → resume → replay
+    // bit-exactly.
+    let mut config = campaign_config();
+    config.tiered = true;
+    assert_kill_resume_is_bit_exact(&config, "tiered");
+
+    // The campaign actually exercises the tiers: rebuild the end state
+    // once more and confirm chips went cold.
+    set_global_threads(2);
+    let mut fleet = FleetDaemon::new(config, ResultCache::disabled(), 0);
+    drive(&mut fleet, 0, EPOCHS);
+    let counts = fleet.state().tier_counts();
+    assert!(
+        counts.cold > 0,
+        "the tiered campaign must leave cold chips (got {counts:?})"
+    );
+    assert!(
+        counts.pinned > 0,
+        "reported chips must be pinned hot (got {counts:?})"
+    );
 }
 
 #[test]

@@ -13,7 +13,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release" >&2
-cargo build --release
+# --workspace matters: the root Cargo.toml is both workspace root and a
+# package, so a bare `cargo build` builds only the root package and the
+# member *bins* this script executes (fleetd, fleet_storm, perf_gate,
+# the ledgered benches) would silently stay stale.
+cargo build --release --workspace
 
 echo "== cargo test" >&2
 # --workspace: the root package holds the cross-crate tier-1 suites, but
@@ -89,5 +93,44 @@ target/release/selfheal-top --check "$SMOKE_DIR/fleet.prom"
 CKPTS=$(find "$SMOKE_DIR/fleet-cache" -name '*.json' | wc -l)
 [ "$CKPTS" -ge 2 ] || { echo "no final checkpoint written (found $CKPTS cache files)" >&2; exit 1; }
 echo "fleet smoke: clean shutdown, $CKPTS checkpoint file(s)" >&2
+
+echo "== tiered fleet smoke" >&2
+# The tiered integrator end to end: a --tiered daemon serves every
+# request type, checkpoints carry per-chip tier state, and a kill -9
+# mid-flight resumes from the checkpointed tiers (not a fresh fleet).
+target/release/fleetd --tiered --guard-band-mv 10 \
+    --chips 256 --shards 4 --workers 2 \
+    --epoch-ms 50 --checkpoint-every 2 --cache-dir "$SMOKE_DIR/tiered-cache" \
+    --addr-file "$SMOKE_DIR/tiered.addr" 2> "$SMOKE_DIR/tiered.first.log" &
+TIERED_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/tiered.addr" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/tiered.addr" ] || { echo "tiered fleetd never published its address" >&2; exit 1; }
+# Enough wall-clock epochs for the checkpoint cadence to fire at least once.
+sleep 0.5
+target/release/fleet_storm --smoke --connect "$(cat "$SMOKE_DIR/tiered.addr")"
+kill -9 "$TIERED_PID"
+wait "$TIERED_PID" 2>/dev/null || true
+grep -q '\[tiered, guard band' "$SMOKE_DIR/tiered.first.log" \
+    || { echo "tiered fleetd did not announce tiering" >&2; exit 1; }
+rm -f "$SMOKE_DIR/tiered.addr"
+target/release/fleetd --tiered --guard-band-mv 10 \
+    --chips 256 --shards 4 --workers 2 \
+    --epoch-ms 50 --checkpoint-every 2 --cache-dir "$SMOKE_DIR/tiered-cache" \
+    --addr-file "$SMOKE_DIR/tiered.addr" 2> "$SMOKE_DIR/tiered.second.log" &
+TIERED_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE_DIR/tiered.addr" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE_DIR/tiered.addr" ] || { echo "tiered fleetd never restarted" >&2; exit 1; }
+grep -q '(resumed: true)' "$SMOKE_DIR/tiered.second.log" \
+    || { echo "restarted tiered fleetd did not resume from its checkpoint" >&2; \
+         cat "$SMOKE_DIR/tiered.second.log" >&2; exit 1; }
+target/release/fleet_storm --smoke --connect "$(cat "$SMOKE_DIR/tiered.addr")" --shutdown
+wait "$TIERED_PID"
+echo "tiered fleet smoke: served all request types, kill -9 resumed from tiered checkpoint" >&2
 
 echo "ci: all gates green" >&2

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use selfheal_bti::td::{
     advance_population, sample_population, PhaseRates, Trap, TrapBank, TrapEnsemble,
-    TrapEnsembleParams,
+    TrapEnsembleParams, LANES,
 };
 use selfheal_bti::{DeviceCondition, Environment};
 use selfheal_runtime::{set_global_threads, SeedSequence};
@@ -126,6 +126,61 @@ fn population_fanout_is_worker_count_invariant_bitwise() {
     }
 }
 
+/// A deterministic trap vector of exactly `n` traps: τ values cycle the
+/// extreme grid and occupancies walk a golden-ratio lattice, so every
+/// chunk of the bank mixes frozen, permanent and live traps.
+fn traps_of_len(n: usize) -> Vec<Trap> {
+    let grid = tau_grid();
+    (0..n)
+        .map(|i| {
+            let (tau_c0, tau_e0, permanent) = grid[i % grid.len()];
+            #[allow(clippy::cast_precision_loss)]
+            let occupancy = (i as f64 * 0.618_033_988_749_895).fract();
+            Trap::restore(
+                Seconds::new(tau_c0),
+                Seconds::new(tau_e0),
+                Millivolts::new(0.35),
+                permanent,
+                occupancy,
+            )
+        })
+        .collect()
+}
+
+/// The chunked kernel must be bit-exact at every chunk-boundary size:
+/// one short of a full chunk (pure scalar tail), exactly one chunk, one
+/// past it, and a large size with a ragged tail (10k + 3). Guards the
+/// blocked-loop rewrite against any off-by-one between the lane blocks
+/// and the tail.
+#[test]
+fn chunk_boundary_sizes_are_bit_exact() {
+    for n in [LANES - 1, LANES, LANES + 1, 10_003] {
+        let traps = traps_of_len(n);
+        let mut scalar = traps.clone();
+        let mut bank = TrapBank::from_traps(&traps);
+        for (step, (cond, dt)) in phase_sequence().into_iter().enumerate() {
+            for trap in &mut scalar {
+                trap.advance(cond, dt);
+            }
+            let stats = bank.advance_all(&PhaseRates::for_condition(cond), dt);
+            for (i, (want, got)) in scalar.iter().zip(bank.iter()).enumerate() {
+                assert_eq!(
+                    want.occupancy().to_bits(),
+                    got.occupancy().to_bits(),
+                    "size={n} phase={step} trap={i}"
+                );
+            }
+            // The fused stats must still be the ordered iterator sum.
+            let occupied: f64 = scalar.iter().map(Trap::occupancy).sum();
+            assert_eq!(
+                stats.occupied_after.to_bits(),
+                occupied.to_bits(),
+                "size={n} phase={step}: occupied_after"
+            );
+        }
+    }
+}
+
 /// The τ grid deliberately spans denormal-adjacent to `f64::MAX` capture
 /// constants and includes `tau_e0 = INFINITY` (a pre-frozen emitter), so
 /// the sweep exercises overflow-free rate math, the `total_rate <= 0`
@@ -193,5 +248,58 @@ proptest! {
             // Occupancy stays a probability even at the extremes.
             prop_assert!((0.0..=1.0).contains(&got.occupancy()));
         }
+    }
+
+    /// One batched traversal through a whole phase schedule must be
+    /// bit-identical to issuing the phases one `advance_all` at a time —
+    /// occupancies *and* the first-before/last-after stats — at any bank
+    /// size (chunk-ragged included) and any batch (zero-dt phases
+    /// included).
+    #[test]
+    fn batched_phase_advance_matches_sequential_bitwise(
+        size in 0usize..200,
+        schedule in proptest::collection::vec((0usize..5, 0usize..2), 1..6),
+    ) {
+        let all_phases = phase_sequence();
+        let phases: Vec<(PhaseRates, Seconds)> = schedule
+            .iter()
+            .map(|&(phase, zero_dt)| {
+                let (cond, dt) = all_phases[phase];
+                let dt = if zero_dt == 1 { Seconds::new(0.0) } else { dt };
+                (PhaseRates::for_condition(cond), dt)
+            })
+            .collect();
+
+        let traps = traps_of_len(size);
+        let mut sequential = TrapBank::from_traps(&traps);
+        let mut batched = TrapBank::from_traps(&traps);
+
+        let mut first_before = None;
+        let mut last_after = None;
+        for (rates, dt) in &phases {
+            let stats = sequential.advance_all(rates, *dt);
+            first_before.get_or_insert(stats.occupied_before);
+            last_after = Some(stats.occupied_after);
+        }
+        let batch_stats = batched.advance_phases(&phases);
+
+        for (i, (want, got)) in sequential.occupancies().iter().zip(batched.occupancies()).enumerate() {
+            prop_assert_eq!(
+                want.to_bits(),
+                got.to_bits(),
+                "size={} schedule={:?} trap={}",
+                size, schedule, i
+            );
+        }
+        prop_assert_eq!(
+            batch_stats.occupied_before.to_bits(),
+            first_before.unwrap_or(-0.0).to_bits(),
+            "occupied_before must match the first sequential step"
+        );
+        prop_assert_eq!(
+            batch_stats.occupied_after.to_bits(),
+            last_after.unwrap_or(-0.0).to_bits(),
+            "occupied_after must match the last sequential step"
+        );
     }
 }
