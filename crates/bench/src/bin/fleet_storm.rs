@@ -21,6 +21,7 @@
 //! ```
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -49,6 +50,12 @@ struct Options {
     smoke: bool,
     connect: Option<SocketAddr>,
     shutdown: bool,
+    /// Chrome-trace output. In bench mode `BenchRun` installs the sink
+    /// (this is one of its common flags); the storm additionally stamps
+    /// every request with a deterministic trace context so the client
+    /// side of each cross-process flow lands in the file. In smoke mode
+    /// the sink is installed here.
+    trace: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -64,13 +71,15 @@ impl Default for Options {
             smoke: false,
             connect: None,
             shutdown: false,
+            trace: None,
         }
     }
 }
 
 const USAGE: &str = "usage: fleet_storm [--chips N] [--shards N] [--seed N] [--traps MEAN]\n\
                      \x20                  [--clients N] [--requests N] [--rate HZ] [--json]\n\
-                     \x20      fleet_storm --smoke --connect HOST:PORT [--shutdown]";
+                     \x20                  [--trace PATH]\n\
+                     \x20      fleet_storm --smoke --connect HOST:PORT [--shutdown] [--trace PATH]";
 
 fn parse_options() -> Result<Options, String> {
     let mut opts = Options::default();
@@ -91,10 +100,13 @@ fn parse_options() -> Result<Options, String> {
                 opts.connect = Some(raw.parse().map_err(|_| format!("bad address {raw}"))?);
             }
             "--shutdown" => opts.shutdown = true,
+            // Also one of BenchRun's common flags: in bench mode it
+            // installs the sink from the same argument.
+            "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             // BenchRun's common flags (--json, --threads, --out, ...).
             "--json" | "--no-cache" => {}
-            "--out" | "--trace" | "--folded" | "--status" | "--threads" => {
+            "--out" | "--folded" | "--status" | "--threads" => {
                 let _ = args.next();
             }
             other => return Err(format!("unknown argument {other}\n{USAGE}")),
@@ -130,8 +142,12 @@ fn storm_client(
     requests: u64,
     rate: f64,
     mut rng: rand::rngs::StdRng,
+    trace_seeds: Option<SeedSequence>,
 ) -> Result<Vec<Duration>, String> {
     let mut client = FleetClient::connect(addr).map_err(|err| format!("connect: {err}"))?;
+    if let Some(seeds) = trace_seeds {
+        client.enable_trace(seeds);
+    }
     let mut latencies = Vec::with_capacity(usize::try_from(requests).unwrap_or(0));
     for _ in 0..requests {
         // Exponential inter-arrival gap: -ln(U)/rate seconds.
@@ -232,9 +248,20 @@ fn bench(opts: &Options) -> Result<(), String> {
             .map(|index| {
                 let rng = seeds.rng(index as u64);
                 let rate = opts.rate;
+                // Trace stamping only when a trace file was requested:
+                // the untraced storm keeps its exact wire frames.
+                let trace_seeds = opts
+                    .trace
+                    .is_some()
+                    .then(|| seeds.child(0x7e ^ index as u64));
                 std::thread::Builder::new()
                     .name(format!("storm-client-{index}"))
-                    .spawn(move || storm_client(addr, chips, per_client, rate, rng))
+                    .spawn(move || {
+                        selfheal_telemetry::register_thread_name(&format!(
+                            "storm-client-{index}"
+                        ));
+                        storm_client(addr, chips, per_client, rate, rng, trace_seeds)
+                    })
                     .map_err(|err| format!("spawn client {index}: {err}"))
             })
             .collect::<Result<_, _>>()?;
@@ -300,9 +327,24 @@ fn bench(opts: &Options) -> Result<(), String> {
 }
 
 /// One request of each type against a running daemon; any unexpected
-/// reply is a failure. The CI handshake.
-fn smoke(addr: SocketAddr, shutdown: bool) -> Result<(), String> {
+/// reply is a failure. The CI handshake. With `--trace` the client's
+/// side of every request's flow chain is exported as a Chrome trace —
+/// the fixture `trace_merge` joins with the daemon's file.
+fn smoke(opts: &Options) -> Result<(), String> {
+    let addr = opts.connect.expect("checked in parse_options");
+    let _trace_guard = match &opts.trace {
+        None => None,
+        Some(path) => {
+            let sink = selfheal_telemetry::ChromeTraceSink::create(path)
+                .map_err(|err| format!("cannot open trace file {}: {err}", path.display()))?;
+            selfheal_telemetry::register_thread_name("main");
+            Some(selfheal_telemetry::install_sink(std::sync::Arc::new(sink)))
+        }
+    };
     let mut client = FleetClient::connect(addr).map_err(|err| format!("connect: {err}"))?;
+    if opts.trace.is_some() {
+        client.enable_trace(SeedSequence::new(opts.seed ^ 0x5707_2017));
+    }
     let mut call = |request: &Request| {
         client
             .call(request)
@@ -339,12 +381,29 @@ fn smoke(addr: SocketAddr, shutdown: bool) -> Result<(), String> {
         ),
         other => return Err(format!("stats: unexpected {other:?}")),
     }
-    if shutdown {
+    // Ask the daemon to persist its flight recorder. An old daemon
+    // answers unknown-type, which is fine — the smoke stays compatible
+    // in both directions.
+    match call(&Request::DebugDump)? {
+        Response::DebugDump { events, path } => println!(
+            "fleet_storm: debug-dump ok ({events} event(s){})",
+            path.map(|p| format!(" -> {p}")).unwrap_or_default()
+        ),
+        Response::Error { code, .. }
+            if code == selfheal_fleet::proto::ErrorCode::UnknownType =>
+        {
+            println!("fleet_storm: debug-dump skipped (daemon predates it)");
+        }
+        other => return Err(format!("debug-dump: unexpected {other:?}")),
+    }
+    if opts.shutdown {
         match call(&Request::Shutdown)? {
             Response::Bye => println!("fleet_storm: shutdown ok"),
             other => return Err(format!("shutdown: unexpected {other:?}")),
         }
     }
+    drop(client);
+    selfheal_telemetry::flush_all();
     Ok(())
 }
 
@@ -357,7 +416,7 @@ fn main() -> ExitCode {
         }
     };
     let result = if opts.smoke {
-        smoke(opts.connect.expect("checked in parse_options"), opts.shutdown)
+        smoke(&opts)
     } else {
         bench(&opts)
     };

@@ -22,12 +22,16 @@
 //! * default — redraw at `--interval <dur>` (default 250ms) until killed;
 //! * `--once` — render a single frame and exit;
 //! * `--check` — parse and validate the file (the CI smoke uses this),
-//!   printing a one-line summary; exit 1 on malformed exposition.
+//!   printing a one-line summary; exit 1 on malformed exposition. With
+//!   `--max-age <dur>` it also fails when the file's mtime is older
+//!   than the bound — `selfheal_sample_ts_ns` is relative to the
+//!   *writer's* process start, so a dead writer's file still parses;
+//!   only the mtime against the checker's own clock proves liveness.
 
 #![forbid(unsafe_code)]
 
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 use selfheal_telemetry::timeseries::{parse_exposition, parse_interval, Exposition};
 
@@ -84,6 +88,17 @@ fn exposition_quantile(exposition: &Exposition, family: &str, q: f64) -> Option<
     best
 }
 
+/// True when the status file's last rewrite is older than `max_age`:
+/// the writer is gone or wedged. The embedded heartbeat
+/// (`selfheal_sample_ts_ns`) cannot prove liveness — it is relative to
+/// the writer's own process start and a dead writer's final file keeps
+/// parsing forever — so staleness comes from the file mtime against the
+/// checker's clock. A future mtime is clock skew, not staleness.
+fn is_stale(modified: SystemTime, now: SystemTime, max_age: Duration) -> bool {
+    now.duration_since(modified)
+        .is_ok_and(|age| age > max_age)
+}
+
 /// Renders one dashboard frame.
 fn render_frame(path: &Path, exposition: &Exposition, previous: &Scrape, stale: bool) -> String {
     let now = Scrape::from_exposition(exposition);
@@ -138,6 +153,60 @@ fn render_frame(path: &Path, exposition: &Exposition, previous: &Scrape, stale: 
         ));
     }
 
+    // Latency objectives published by the fleet's per-epoch SLO judge
+    // (fleetd --slo): one row per selfheal_slo_*_ok gauge, with the
+    // observed quantile, the target, and the error-budget burn rate.
+    let mut slo_rows = String::new();
+    for sample in &exposition.samples {
+        let Some(base) = sample.name.strip_suffix("_ok") else {
+            continue;
+        };
+        let Some(objective) = base.strip_prefix("selfheal_slo_") else {
+            continue;
+        };
+        let verdict = if sample.value >= 1.0 { "ok" } else { "VIOLATED" };
+        slo_rows.push_str(&format!(
+            "  {:<16} observed {:>10} target {:>10} burn {:>6} {verdict}\n",
+            objective.replace('_', " "),
+            fmt_opt(value(&format!("{base}_us")), "us"),
+            fmt_opt(value(&format!("{base}_target_us")), "us"),
+            fmt_opt(value(&format!("{base}_burn")), "x"),
+        ));
+    }
+    if !slo_rows.is_empty() {
+        out.push_str("\nslo\n");
+        out.push_str(&slo_rows);
+    }
+
+    // Per-shard epoch time as a heat line: fleet daemons publish
+    // selfheal_fleet_shard_<i>_epoch_us for each timed epoch advance,
+    // so a lopsided line means one shard is dragging the barrier.
+    let mut shard_us: Vec<f64> = Vec::new();
+    while let Some(v) = value(&format!("selfheal_fleet_shard_{}_epoch_us", shard_us.len())) {
+        shard_us.push(v);
+    }
+    if !shard_us.is_empty() {
+        const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let peak = shard_us
+            .iter()
+            .copied()
+            .fold(0.0, selfheal_units::float::max_total);
+        let heat: String = shard_us
+            .iter()
+            .map(|&v| {
+                let level = if peak > 0.0 { v / peak * 7.0 } else { 0.0 };
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let index = level.round() as usize;
+                BLOCKS[index.min(7)]
+            })
+            .collect();
+        out.push_str(&format!(
+            "\nshards  epoch us {heat}  peak {} over {} shard(s)\n",
+            fmt_opt(Some(peak), "us"),
+            shard_us.len(),
+        ));
+    }
+
     // Every exported histogram family: count + bucket-derived p50/p99.
     let histograms: Vec<&String> = exposition
         .types
@@ -183,10 +252,14 @@ fn scrape(path: &Path) -> Result<Exposition, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: selfheal-top <status-file> [--interval <dur>] [--once] [--check]\n\
+         \x20                              [--max-age <dur>]\n\
          \n\
          Tails the Prometheus status file written by any bench binary's\n\
          `--status <path>` flag and renders a live dashboard.\n\
-         `--check` validates the exposition and exits (CI smoke)."
+         `--check` validates the exposition and exits (CI smoke);\n\
+         with `--max-age <dur>` (e.g. 30s) it also fails when the file's\n\
+         mtime is older than the bound — a stale file means the writer\n\
+         is dead even though its last exposition still parses."
     );
     std::process::exit(2);
 }
@@ -196,6 +269,7 @@ fn main() {
     let mut interval = Duration::from_millis(250);
     let mut once = false;
     let mut check = false;
+    let mut max_age: Option<Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -203,6 +277,10 @@ fn main() {
             "--check" => check = true,
             "--interval" => match args.next().as_deref().and_then(parse_interval) {
                 Some(parsed) => interval = parsed,
+                None => usage(),
+            },
+            "--max-age" => match args.next().as_deref().and_then(parse_interval) {
+                Some(parsed) => max_age = Some(parsed),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -215,6 +293,24 @@ fn main() {
     let Some(path) = path else { usage() };
 
     if check {
+        if let Some(max_age) = max_age {
+            match std::fs::metadata(&path).and_then(|meta| meta.modified()) {
+                Ok(modified) => {
+                    if is_stale(modified, SystemTime::now(), max_age) {
+                        eprintln!(
+                            "selfheal-top: {} is stale (mtime older than {max_age:?}; \
+                             the writer looks dead)",
+                            path.display(),
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                Err(err) => {
+                    eprintln!("selfheal-top: cannot stat {}: {err}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
         match scrape(&path) {
             Ok(exposition) => {
                 let Some(ts) = exposition.value("selfheal_sample_ts_ns") else {
@@ -324,6 +420,48 @@ selfheal_span_self_seconds{stack=\"fig5;campaign\"} 1.25
         assert!(frame.contains("hit rate 75.0%"), "{frame}");
         assert!(frame.contains("traps/s 1000"), "{frame}");
         assert!(frame.contains("fig5;campaign"), "{frame}");
+    }
+
+    #[test]
+    fn frame_renders_slo_rows_and_shard_heat_line() {
+        let text = "\
+selfheal_sample_ts_ns 3000000000
+selfheal_slo_plan_p99_target_us 500
+selfheal_slo_plan_p99_us 9800
+selfheal_slo_plan_p99_ok 0
+selfheal_slo_plan_p99_burn 2
+selfheal_slo_stats_p50_target_us 100
+selfheal_slo_stats_p50_us 40
+selfheal_slo_stats_p50_ok 1
+selfheal_slo_stats_p50_burn 0.1
+selfheal_fleet_shard_0_epoch_us 100
+selfheal_fleet_shard_1_epoch_us 800
+selfheal_fleet_shard_2_epoch_us 400
+";
+        let exposition = parse_exposition(text).expect("valid");
+        let frame = render_frame(Path::new("x.prom"), &exposition, &Scrape::default(), false);
+        assert!(frame.contains("plan p99"), "{frame}");
+        assert!(frame.contains("VIOLATED"), "{frame}");
+        assert!(frame.contains("stats p50"), "{frame}");
+        assert!(frame.contains("2.0x"), "{frame}");
+        // 100/800/400 of peak 800 → rounded ramp levels 1, 7, 4.
+        assert!(frame.contains("▂█▅"), "{frame}");
+        assert!(frame.contains("over 3 shard(s)"), "{frame}");
+    }
+
+    #[test]
+    fn staleness_is_mtime_versus_now() {
+        let now = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000);
+        let bound = Duration::from_secs(30);
+        let written = |secs_ago: u64| now - Duration::from_secs(secs_ago);
+        assert!(is_stale(written(31), now, bound));
+        assert!(!is_stale(written(30), now, bound), "bound is inclusive");
+        assert!(!is_stale(written(0), now, bound));
+        // An mtime *after* now is clock skew, never staleness.
+        assert!(!is_stale(now + Duration::from_secs(60), now, bound));
+        // A zero bound fails anything but a same-instant write.
+        assert!(is_stale(written(1), now, Duration::ZERO));
+        assert!(!is_stale(written(0), now, Duration::ZERO));
     }
 
     #[test]

@@ -13,8 +13,10 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use selfheal_fleet::slo::SloObjective;
 use selfheal_fleet::{FleetConfig, FleetDaemon, FleetServer, ServerConfig};
 use selfheal_runtime::ResultCache;
+use selfheal_telemetry::flight;
 use selfheal_telemetry::timeseries::{Sampler, SamplerConfig};
 
 /// Parsed CLI options.
@@ -23,6 +25,7 @@ struct Options {
     config: FleetConfig,
     server: ServerConfig,
     checkpoint_every: u64,
+    flight_dump: Option<PathBuf>,
     status: Option<PathBuf>,
     addr_file: Option<PathBuf>,
     threads: Option<usize>,
@@ -37,6 +40,7 @@ impl Default for Options {
             config: FleetConfig::default(),
             server: ServerConfig::default(),
             checkpoint_every: 8,
+            flight_dump: None,
             status: None,
             addr_file: None,
             threads: None,
@@ -63,6 +67,10 @@ fleetd — sharded rejuvenation-scheduling daemon
   --max-epochs N         shut down after N epochs
   --workers N            accept/worker threads (default 4)
   --threads N            pool workers for epoch advance
+  --slo KIND:pNN<T       latency objective, e.g. plan:p99<500us (repeatable);
+                         judged each epoch, published as selfheal_slo_* gauges
+  --flight-dump PATH     dump the flight recorder (last 4096 events) to PATH as
+                         JSONL on panic, shutdown, or a debug-dump request
   --status PATH          write a Prometheus status file (selfheal-top watches it)
   --addr-file PATH       write the bound address to PATH once listening
   --cache-dir PATH       checkpoint store root (default target/cache)
@@ -102,6 +110,11 @@ fn parse_args() -> Result<Options, String> {
             "--max-epochs" => options.server.max_epochs = Some(parse(&value("--max-epochs")?)?),
             "--workers" => options.server.workers = parse(&value("--workers")?)?,
             "--threads" => options.threads = Some(parse(&value("--threads")?)?),
+            "--slo" => options
+                .config
+                .slos
+                .push(SloObjective::parse(&value("--slo")?)?),
+            "--flight-dump" => options.flight_dump = Some(PathBuf::from(value("--flight-dump")?)),
             "--status" => options.status = Some(PathBuf::from(value("--status")?)),
             "--addr-file" => options.addr_file = Some(PathBuf::from(value("--addr-file")?)),
             "--cache-dir" => options.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
@@ -139,6 +152,32 @@ fn main() {
     }
     let _telemetry = selfheal_telemetry::init_from_env();
     let sampler = Sampler::start(SamplerConfig::from_env().with_status(options.status.clone()));
+    // The registry is off by default (the bare daemon's request path pays
+    // nothing); an observer — the sampler exporting a status file — or a
+    // latency objective needs the histograms and gauges recording.
+    if sampler.is_some() || !options.config.slos.is_empty() {
+        selfheal_telemetry::metrics::set_enabled(true);
+    }
+    if let Some(path) = &options.flight_dump {
+        flight::set_dump_path(Some(path.clone()));
+        flight::record("lifecycle", "start", || {
+            format!("pid={}", std::process::id())
+        });
+        // Dump the ring before unwinding so a panicking daemon leaves
+        // its last 4096 events behind; the previous hook still prints
+        // the backtrace.
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flight::record("lifecycle", "panic", || info.to_string());
+            if let Ok(Some((path, events))) = flight::dump() {
+                eprintln!(
+                    "fleetd: flight recorder dumped {events} event(s) to {}",
+                    path.display()
+                );
+            }
+            previous(info);
+        }));
+    }
 
     let cache = match (&options.cache_dir, options.cache) {
         (_, false) => ResultCache::disabled(),
@@ -186,6 +225,21 @@ fn main() {
     if let Some(sampler) = sampler {
         sampler.stop();
     }
+    flight::record("lifecycle", "shutdown", || {
+        format!(
+            "requests={} epochs={} digest={:016x}",
+            summary.requests, summary.epochs, summary.final_state_digest
+        )
+    });
+    if let Ok(Some((path, events))) = flight::dump() {
+        eprintln!(
+            "fleetd: flight recorder dumped {events} event(s) to {}",
+            path.display()
+        );
+    }
+    // The sink guard flushes on drop too; flushing here makes the trace
+    // file complete even if something below panics or aborts.
+    selfheal_telemetry::flush_all();
     eprintln!(
         "fleetd: served {} requests over {} epochs, final state {:016x} (checkpointed: {})",
         summary.requests, summary.epochs, summary.final_state_digest, summary.checkpointed,

@@ -1,16 +1,41 @@
 //! A minimal blocking client for the fleet protocol.
 //!
 //! Used by `fleet_storm`, the protocol tests and the CI smoke — one
-//! connection, synchronous request/response round trips.
+//! connection, synchronous request/response round trips. With
+//! [`FleetClient::enable_trace`] the client stamps every request with a
+//! deterministic [`TraceContext`] and emits its half of the
+//! cross-process flow arrows, so a client trace file merged with the
+//! daemon's (via `trace_merge`) renders each request as one connected
+//! chain: client span → rpc arrow → daemon spans → reply arrow back.
 
 use std::net::{SocketAddr, TcpStream};
 
-use crate::proto::{read_frame, write_frame, FrameError, Request, Response};
+use selfheal_runtime::SeedSequence;
+use selfheal_telemetry::{emit_flow_end, emit_flow_start, span};
+
+use crate::proto::{read_frame, write_frame, FrameError, Request, Response, TraceContext};
 
 /// One connection to a fleet daemon.
 #[derive(Debug)]
 pub struct FleetClient {
     stream: TcpStream,
+    tracer: Option<Tracer>,
+}
+
+/// Deterministic trace-context source: the `n`-th request of a client
+/// seeded with `seeds` always carries the same ids.
+#[derive(Debug)]
+struct Tracer {
+    seeds: SeedSequence,
+    issued: u64,
+}
+
+impl Tracer {
+    fn next(&mut self) -> TraceContext {
+        let trace = TraceContext::derive(&self.seeds, self.issued);
+        self.issued += 1;
+        trace
+    }
 }
 
 impl FleetClient {
@@ -22,7 +47,17 @@ impl FleetClient {
     pub fn connect(addr: SocketAddr) -> std::io::Result<FleetClient> {
         let stream = TcpStream::connect(addr)?;
         drop(stream.set_nodelay(true));
-        Ok(FleetClient { stream })
+        Ok(FleetClient {
+            stream,
+            tracer: None,
+        })
+    }
+
+    /// Stamps every subsequent request with a [`TraceContext`] derived
+    /// from `seeds`, and emits the client half of each request's flow
+    /// arrows to any installed telemetry sink.
+    pub fn enable_trace(&mut self, seeds: SeedSequence) {
+        self.tracer = Some(Tracer { seeds, issued: 0 });
     }
 
     /// One synchronous round trip.
@@ -32,9 +67,25 @@ impl FleetClient {
     /// Frame-level failures as [`FrameError`]; an unparseable reply
     /// surfaces as [`FrameError::Io`].
     pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
-        write_frame(&mut self.stream, &request.to_json().render().into_bytes())?;
-        let payload = read_frame(&mut self.stream)?;
-        Response::from_payload(&payload)
+        let trace = self.tracer.as_mut().map(Tracer::next);
+        let _span = match trace {
+            Some(trace) => span!(
+                "fleet.client.request",
+                kind = request.kind(),
+                trace_id = trace.trace_id,
+            ),
+            None => span!("fleet.client.request", kind = request.kind()),
+        };
+        let payload = request.to_json_with_trace(trace).render().into_bytes();
+        if let Some(trace) = trace {
+            emit_flow_start("fleet.rpc", trace.flow_id);
+        }
+        write_frame(&mut self.stream, &payload)?;
+        let reply = read_frame(&mut self.stream)?;
+        if let Some(trace) = trace {
+            emit_flow_end("fleet.reply", trace.reply_flow());
+        }
+        Response::from_payload(&reply)
             .ok_or_else(|| FrameError::Io("daemon reply did not parse".to_string()))
     }
 }

@@ -11,6 +11,8 @@ use selfheal_bti::td::TrapEnsembleParams;
 use selfheal_bti::Environment;
 use selfheal_units::{Millivolts, Seconds};
 
+use crate::slo::SloObjective;
+
 /// The full description of a fleet and its operating point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -44,6 +46,11 @@ pub struct FleetConfig {
     /// meaningful with `tiered`; must leave usable margin below the
     /// threshold).
     pub guard_band: Millivolts,
+    /// Latency objectives evaluated each epoch (e.g. `plan:p99<500us`).
+    /// Pure observability: deliberately absent from
+    /// [`cache_key`](Self::cache_key), so SLOs never invalidate
+    /// checkpoints or perturb the state trajectory.
+    pub slos: Vec<SloObjective>,
 }
 
 impl Default for FleetConfig {
@@ -70,6 +77,7 @@ impl Default for FleetConfig {
             horizon: Seconds::new(30.0 * 86_400.0),
             tiered: false,
             guard_band: Millivolts::new(10.0),
+            slos: Vec::new(),
         }
     }
 }
@@ -105,6 +113,12 @@ impl FleetConfig {
                 "guard band must be positive and below the margin (got {} of {})",
                 self.guard_band, self.margin
             ));
+        }
+        for slo in &self.slos {
+            // Re-parsing the canonical spelling catches objectives built
+            // by hand with out-of-range quantiles or targets.
+            SloObjective::parse(&slo.render())
+                .map_err(|e| format!("invalid SLO {:?}: {e}", slo.render()))?;
         }
         self.trap_params.validate()
     }
@@ -227,6 +241,25 @@ mod tests {
         let mut narrower = tiered.clone();
         narrower.guard_band = Millivolts::new(5.0);
         assert_ne!(tiered.cache_key(), narrower.cache_key());
+
+        // SLOs are observability-only: they must NOT key checkpoints.
+        let mut with_slo = base.clone();
+        with_slo.slos =
+            vec![SloObjective::parse("plan:p99<500us").expect("parses")];
+        assert_eq!(base.cache_key(), with_slo.cache_key());
+        assert_eq!(with_slo.validate(), Ok(()));
+    }
+
+    #[test]
+    fn hand_built_slos_are_validated() {
+        let mut config = FleetConfig::default();
+        config.slos = vec![SloObjective {
+            kind: "plan".into(),
+            quantile: 0.99,
+            label: "p99".into(),
+            target_us: -4.0,
+        }];
+        assert!(config.validate().is_err(), "negative target must fail");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use selfheal::SchedulePlanner;
 use selfheal_bti::td::ChipTier;
 use selfheal_bti::DeviceCondition;
 use selfheal_runtime::ResultCache;
-use selfheal_telemetry::{counter, gauge};
+use selfheal_telemetry::{counter, flight, gauge};
 use selfheal_units::Millivolts;
 
 use crate::checkpoint;
@@ -85,9 +85,15 @@ impl FleetDaemon {
     pub fn advance_epoch(&mut self) {
         self.state.advance_epoch();
         let epoch = self.state.epoch();
+        flight::record("epoch", "advance", || {
+            format!("epoch={epoch} sim_s={}", self.state.sim_time().get())
+        });
         if self.checkpoint_every > 0 && epoch % self.checkpoint_every == 0 {
             checkpoint::save(&self.cache, &self.state);
             counter!("fleet.checkpoints", 1);
+            flight::record("checkpoint", "save", || {
+                format!("epoch={epoch} digest={:016x}", self.state.state_digest())
+            });
         }
         #[allow(clippy::cast_precision_loss)]
         let epoch_f = epoch as f64;
@@ -134,6 +140,7 @@ impl FleetDaemon {
                 }
             }
             Request::Stats => self.handle_stats(),
+            Request::DebugDump => handle_debug_dump(),
             Request::Shutdown => Response::Bye,
         }
     }
@@ -217,6 +224,26 @@ impl FleetDaemon {
             over_budget_chips: aggregates.over_budget_chips as u64,
             state_digest: self.state.state_digest(),
         })
+    }
+}
+
+/// Dumps the flight recorder to its configured path. With no path
+/// configured this reports the retained count and writes nothing, so
+/// `debug-dump` is always safe to issue.
+fn handle_debug_dump() -> Response {
+    match flight::dump() {
+        Ok(Some((path, events))) => Response::DebugDump {
+            events: events as u64,
+            path: Some(path.display().to_string()),
+        },
+        Ok(None) => Response::DebugDump {
+            events: flight::global().len() as u64,
+            path: None,
+        },
+        Err(err) => Response::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("flight dump failed: {err}"),
+        },
     }
 }
 
@@ -370,6 +397,39 @@ mod tests {
             Response::Stats(stats) => assert!(stats.mean_delta_vth.get() > 0.0),
             other => panic!("expected stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn debug_dump_writes_the_flight_ring_and_reports_the_path() {
+        let mut daemon = tiny_daemon();
+        daemon.advance_epoch();
+
+        // Without a configured path the dump is a counted no-op.
+        let previous = flight::dump_path();
+        flight::set_dump_path(None);
+        match daemon.handle(&Request::DebugDump) {
+            Response::DebugDump { path, .. } => assert_eq!(path, None),
+            other => panic!("expected a debug-dump reply, got {other:?}"),
+        }
+
+        // With a path, the retained ring lands on disk as JSONL.
+        let target = std::env::temp_dir().join(format!(
+            "selfheal-daemon-flight-{}.jsonl",
+            std::process::id()
+        ));
+        flight::set_dump_path(Some(target.clone()));
+        flight::record("lifecycle", "test-marker", String::new);
+        match daemon.handle(&Request::DebugDump) {
+            Response::DebugDump { events, path } => {
+                assert!(events > 0, "the epoch marker alone fills the ring");
+                assert_eq!(path.as_deref(), Some(target.display().to_string().as_str()));
+            }
+            other => panic!("expected a debug-dump reply, got {other:?}"),
+        }
+        let text = std::fs::read_to_string(&target).expect("dump file exists");
+        assert!(text.lines().count() > 0);
+        let _ = std::fs::remove_file(&target);
+        flight::set_dump_path(previous);
     }
 
     #[test]

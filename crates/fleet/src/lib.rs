@@ -30,11 +30,13 @@ pub mod config;
 pub mod daemon;
 pub mod proto;
 pub mod server;
+pub mod slo;
 pub mod state;
 
 pub use client::FleetClient;
 pub use config::FleetConfig;
 pub use daemon::FleetDaemon;
-pub use proto::{Request, Response};
+pub use proto::{Request, Response, TraceContext};
+pub use slo::{SloObjective, SloStatus};
 pub use server::{FleetServer, ServeSummary, ServerConfig};
 pub use state::FleetState;

@@ -14,6 +14,7 @@
 use std::io::{Read, Write};
 
 use selfheal::{RejuvenationPlan, RejuvenationTechnique};
+use selfheal_runtime::SeedSequence;
 use selfheal_units::{DutyCycle, Millivolts, Ratio, Seconds};
 use selfheal_telemetry::{json, Json};
 
@@ -121,6 +122,84 @@ pub fn write_frame<S: Read + Write>(stream: &mut S, payload: &[u8]) -> Result<()
     Ok(())
 }
 
+/// Trace and flow ids are masked to 48 bits so they survive the f64
+/// JSON number representation exactly (and independent renderings in
+/// the client and daemon processes agree bit-for-bit, which is what
+/// lets Perfetto pair the two halves of a cross-process flow arrow).
+pub const TRACE_ID_MASK: u64 = (1 << 48) - 1;
+
+/// Client-generated trace context riding the optional `trace` field of
+/// any request.
+///
+/// The ids derive from the client's [`SeedSequence`], so a seeded run
+/// produces the same trace ids every time — traces are diffable across
+/// runs, like everything else in the workspace. A request's `flow_id`
+/// names the client→daemon arrow; the two deterministic salted
+/// variants, [`queue_flow`](Self::queue_flow) and
+/// [`reply_flow`](Self::reply_flow), name the daemon-internal mpsc
+/// hand-off and the daemon→client reply arrow, so one request renders
+/// as a connected three-arrow chain in a merged trace.
+///
+/// Old daemons ignore the `trace` field (unknown JSON fields are
+/// skipped by every parser in this module) and old clients simply never
+/// send it, so tracing is compatible in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Groups every span of one logical request.
+    pub trace_id: u64,
+    /// Pairs the client's flow-start with the daemon's flow-end.
+    pub flow_id: u64,
+}
+
+impl TraceContext {
+    /// Derives the context for the `request_index`-th request of a
+    /// client seeded with `seeds`. Pure in `(seeds, request_index)`.
+    #[must_use]
+    pub fn derive(seeds: &SeedSequence, request_index: u64) -> TraceContext {
+        TraceContext {
+            trace_id: seeds.derive(request_index * 2) & TRACE_ID_MASK,
+            flow_id: seeds.derive(request_index * 2 + 1) & TRACE_ID_MASK,
+        }
+    }
+
+    /// Flow id of the worker→state-thread mpsc hand-off arrow.
+    #[must_use]
+    pub fn queue_flow(self) -> u64 {
+        self.flow_id ^ 1
+    }
+
+    /// Flow id of the daemon→client reply arrow.
+    #[must_use]
+    pub fn reply_flow(self) -> u64 {
+        self.flow_id ^ 2
+    }
+
+    /// The wire form of the `trace` field.
+    #[must_use]
+    pub fn to_json(self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        Json::object(vec![
+            ("id".to_string(), Json::Number(self.trace_id as f64)),
+            ("flow".to_string(), Json::Number(self.flow_id as f64)),
+        ])
+    }
+
+    /// Extracts the trace context from a parsed request document.
+    /// Anything malformed — wrong type, negative, fractional, out of the
+    /// 48-bit range — yields `None` rather than an error: a bad trace id
+    /// must never fail an otherwise-valid request.
+    #[must_use]
+    pub fn from_doc(doc: &Json) -> Option<TraceContext> {
+        let trace = doc.get("trace")?;
+        let id = trace.get("id").and_then(json_u64)?;
+        let flow = trace.get("flow").and_then(json_u64)?;
+        (id <= TRACE_ID_MASK && flow <= TRACE_ID_MASK).then_some(TraceContext {
+            trace_id: id,
+            flow_id: flow,
+        })
+    }
+}
+
 /// Machine-readable error categories carried in error replies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorCode {
@@ -192,6 +271,8 @@ pub enum Request {
     },
     /// Fleet-wide aggregates.
     Stats,
+    /// Dump the daemon's flight recorder to its configured path.
+    DebugDump,
     /// Graceful shutdown (final checkpoint, then exit).
     Shutdown,
 }
@@ -232,9 +313,28 @@ impl Request {
                 fields.push(("duty".into(), Json::Number(duty.get())));
             }
             Request::Stats => fields.push(("type".into(), Json::String("stats".into()))),
+            Request::DebugDump => {
+                fields.push(("type".into(), Json::String("debug-dump".into())));
+            }
             Request::Shutdown => fields.push(("type".into(), Json::String("shutdown".into()))),
         }
         Json::object(fields)
+    }
+
+    /// Serializes for the wire with an optional trace context attached.
+    /// With `None` this is exactly [`to_json`](Self::to_json), so traced
+    /// and untraced clients emit byte-identical frames when tracing is
+    /// off.
+    #[must_use]
+    pub fn to_json_with_trace(&self, trace: Option<TraceContext>) -> Json {
+        let doc = self.to_json();
+        match (trace, doc) {
+            (Some(trace), Json::Object(mut fields)) => {
+                fields.insert("trace".to_string(), trace.to_json());
+                Json::Object(fields)
+            }
+            (_, doc) => doc,
+        }
     }
 
     /// Decodes a request payload.
@@ -245,10 +345,28 @@ impl Request {
     /// [`ErrorCode::BadJson`], [`ErrorCode::UnknownType`] or
     /// [`ErrorCode::BadRequest`].
     pub fn from_payload(payload: &[u8]) -> Result<Request, (ErrorCode, String)> {
+        Request::from_payload_traced(payload).map(|(request, _)| request)
+    }
+
+    /// Decodes a request payload together with its optional trace
+    /// context. A missing or malformed `trace` field yields `None` for
+    /// the context without affecting the request itself.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`from_payload`](Self::from_payload).
+    pub fn from_payload_traced(
+        payload: &[u8],
+    ) -> Result<(Request, Option<TraceContext>), (ErrorCode, String)> {
         let text = std::str::from_utf8(payload)
             .map_err(|_| (ErrorCode::BadJson, "payload is not UTF-8".to_string()))?;
         let doc = json::parse(text)
             .map_err(|e| (ErrorCode::BadJson, format!("payload is not JSON: {e:?}")))?;
+        let trace = TraceContext::from_doc(&doc);
+        Request::from_doc(&doc).map(|request| (request, trace))
+    }
+
+    fn from_doc(doc: &Json) -> Result<Request, (ErrorCode, String)> {
         let kind = doc
             .get("type")
             .and_then(Json::as_str)
@@ -286,6 +404,7 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "debug-dump" => Ok(Request::DebugDump),
             "shutdown" => Ok(Request::Shutdown),
             other => Err((
                 ErrorCode::UnknownType,
@@ -302,6 +421,7 @@ impl Request {
             Request::Predict { .. } => "predict",
             Request::Report { .. } => "report",
             Request::Stats => "stats",
+            Request::DebugDump => "debug-dump",
             Request::Shutdown => "shutdown",
         }
     }
@@ -365,6 +485,14 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsReply),
+    /// Answer to [`Request::DebugDump`].
+    DebugDump {
+        /// Flight-recorder records written (retained ring contents).
+        events: u64,
+        /// Dump destination, or `None` when the daemon has no
+        /// `--flight-dump` path configured (nothing was written).
+        path: Option<String>,
+    },
     /// Acknowledges [`Request::Shutdown`]; the daemon exits after its
     /// final checkpoint.
     Bye,
@@ -449,6 +577,16 @@ impl Response {
                     Json::String(format!("{:016x}", stats.state_digest)),
                 ),
             ]),
+            Response::DebugDump { events, path } => {
+                let mut fields = vec![
+                    ("type".to_string(), Json::String("debug-dump".into())),
+                    ("events".to_string(), number_u64(*events)),
+                ];
+                if let Some(path) = path {
+                    fields.push(("path".into(), Json::String(path.clone())));
+                }
+                Json::object(fields)
+            }
             Response::Bye => Json::object(vec![("type".into(), Json::String("bye".into()))]),
             Response::Error { code, message } => Json::object(vec![
                 ("type".into(), Json::String("error".into())),
@@ -502,6 +640,13 @@ impl Response {
                 over_budget_chips: json_u64(doc.get("over_budget_chips")?)?,
                 state_digest: u64::from_str_radix(doc.get("state_digest")?.as_str()?, 16).ok()?,
             })),
+            "debug-dump" => Some(Response::DebugDump {
+                events: json_u64(doc.get("events")?)?,
+                path: match doc.get("path") {
+                    None => None,
+                    Some(path) => Some(path.as_str()?.to_string()),
+                },
+            }),
             "bye" => Some(Response::Bye),
             "error" => Some(Response::Error {
                 code: ErrorCode::parse(doc.get("code")?.as_str()?)?,
@@ -623,11 +768,91 @@ mod tests {
                 duty: DutyCycle::new(0.25),
             },
             Request::Stats,
+            Request::DebugDump,
             Request::Shutdown,
         ];
         for request in requests {
             let payload = request.to_json().render().into_bytes();
             assert_eq!(Request::from_payload(&payload), Ok(request));
+        }
+    }
+
+    #[test]
+    fn trace_context_rides_alongside_any_request() {
+        let seeds = SeedSequence::new(0xfee1);
+        let requests = [
+            Request::Plan {
+                chip: 42,
+                technique: RejuvenationTechnique::Combined,
+                period: None,
+                horizon: None,
+            },
+            Request::Predict {
+                chip: 7,
+                dt: Seconds::new(3_600.0),
+            },
+            Request::Stats,
+            Request::DebugDump,
+        ];
+        for (i, request) in requests.into_iter().enumerate() {
+            let trace = TraceContext::derive(&seeds, i as u64);
+            assert!(trace.trace_id <= TRACE_ID_MASK);
+            assert!(trace.flow_id <= TRACE_ID_MASK);
+            // Salted flow variants stay distinct so the three arrows of
+            // one request never collapse onto each other.
+            assert_ne!(trace.flow_id, trace.queue_flow());
+            assert_ne!(trace.flow_id, trace.reply_flow());
+            assert_ne!(trace.queue_flow(), trace.reply_flow());
+
+            let payload = request
+                .to_json_with_trace(Some(trace))
+                .render()
+                .into_bytes();
+            // A traced frame decodes to the same request plus the context...
+            assert_eq!(
+                Request::from_payload_traced(&payload),
+                Ok((request.clone(), Some(trace)))
+            );
+            // ...and an old daemon's parser (from_payload) simply ignores it.
+            assert_eq!(Request::from_payload(&payload), Ok(request.clone()));
+
+            // An untraced frame (old client) decodes with no context, and
+            // to_json_with_trace(None) is byte-identical to to_json.
+            let bare = request.to_json().render();
+            assert_eq!(request.to_json_with_trace(None).render(), bare);
+            assert_eq!(
+                Request::from_payload_traced(bare.as_bytes()),
+                Ok((request, None))
+            );
+        }
+        // Derivation is pure: same seeds + index, same ids.
+        assert_eq!(
+            TraceContext::derive(&seeds, 3),
+            TraceContext::derive(&SeedSequence::new(0xfee1), 3)
+        );
+    }
+
+    #[test]
+    fn malformed_trace_fields_are_harmless() {
+        let cases = [
+            // Not an object.
+            r#"{"type":"stats","trace":7}"#,
+            // Missing flow.
+            r#"{"type":"stats","trace":{"id":12}}"#,
+            // Wrong types.
+            r#"{"type":"stats","trace":{"id":"abc","flow":1}}"#,
+            // Negative and fractional ids.
+            r#"{"type":"stats","trace":{"id":-4,"flow":1}}"#,
+            r#"{"type":"stats","trace":{"id":1.5,"flow":1}}"#,
+            // Out of the 48-bit range.
+            r#"{"type":"stats","trace":{"id":281474976710656,"flow":1}}"#,
+        ];
+        for payload in cases {
+            assert_eq!(
+                Request::from_payload_traced(payload.as_bytes()),
+                Ok((Request::Stats, None)),
+                "bad trace in {payload} must not fail the request"
+            );
         }
     }
 
@@ -688,6 +913,14 @@ mod tests {
                 over_budget_chips: 0,
                 state_digest: 0xdead_beef_cafe_f00d,
             }),
+            Response::DebugDump {
+                events: 57,
+                path: Some("/tmp/flight.jsonl".into()),
+            },
+            Response::DebugDump {
+                events: 0,
+                path: None,
+            },
             Response::Bye,
             Response::Error {
                 code: ErrorCode::UnknownChip,

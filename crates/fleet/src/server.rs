@@ -23,12 +23,15 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-use selfheal_telemetry::{counter, histogram, register_probe, span};
+use selfheal_telemetry::{
+    counter, emit_flow_end, emit_flow_start, flight, histogram, metrics, register_probe, span,
+};
 
 use crate::daemon::FleetDaemon;
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, Response,
+    read_frame, write_frame, ErrorCode, FrameError, Request, Response, TraceContext,
 };
+use crate::slo;
 
 /// How often a blocked connection read wakes up to poll the shutdown
 /// flag (also bounds worker join latency).
@@ -86,6 +89,11 @@ struct Shared {
 #[derive(Debug)]
 struct Job {
     request: Request,
+    /// The client's trace context, if it sent one — carried across the
+    /// mpsc hand-off so the state thread's execution span joins the same
+    /// flow chain the worker and client are emitting into.
+    trace: Option<TraceContext>,
+    kind: &'static str,
     reply: Sender<Response>,
 }
 
@@ -205,6 +213,13 @@ impl FleetServer {
                         self.shared
                             .epoch
                             .store(self.daemon.state().epoch(), Ordering::Relaxed);
+                        // Re-judge the latency objectives once per epoch
+                        // from the histograms the workers have been
+                        // feeding; pure reads, published as slo.* gauges.
+                        let slos = &self.daemon.state().config().slos;
+                        if !slos.is_empty() && metrics::enabled() {
+                            drop(slo::evaluate_and_publish(slos, &metrics::snapshot()));
+                        }
                         next_epoch = Some(now + interval);
                         continue;
                     }
@@ -220,7 +235,21 @@ impl FleetServer {
                 },
             };
             let wants_shutdown = matches!(job.request, Request::Shutdown);
-            let response = self.daemon.handle(&job.request);
+            let response = {
+                let _span = match job.trace {
+                    Some(trace) => span!(
+                        "fleet.execute",
+                        kind = job.kind,
+                        trace_id = trace.trace_id,
+                    ),
+                    None => span!("fleet.execute", kind = job.kind),
+                };
+                // Close the mpsc hand-off arrow the worker opened.
+                if let Some(trace) = job.trace {
+                    emit_flow_end("fleet.queue", trace.queue_flow());
+                }
+                self.daemon.handle(&job.request)
+            };
             self.shared.served.fetch_add(1, Ordering::Relaxed);
             drop(job.reply.send(response));
             if wants_shutdown {
@@ -264,14 +293,32 @@ fn serve_connection(mut stream: TcpStream, tx: &Sender<Job>, shared: &Shared) {
         match read_frame(&mut stream) {
             Ok(payload) => {
                 let started = Instant::now();
-                let response = match Request::from_payload(&payload) {
-                    Ok(request) => {
+                let mut trace = None;
+                let response = match Request::from_payload_traced(&payload) {
+                    Ok((request, request_trace)) => {
+                        trace = request_trace;
                         let kind = request.kind();
-                        let _span = span!("fleet.request", kind = kind);
+                        let _span = match trace {
+                            Some(trace) => span!(
+                                "fleet.request",
+                                kind = kind,
+                                trace_id = trace.trace_id,
+                            ),
+                            None => span!("fleet.request", kind = kind),
+                        };
+                        if let Some(trace) = trace {
+                            // Land the client's rpc arrow in this span,
+                            // then open the mpsc hand-off arrow the state
+                            // thread will close.
+                            emit_flow_end("fleet.rpc", trace.flow_id);
+                            emit_flow_start("fleet.queue", trace.queue_flow());
+                        }
                         let (reply_tx, reply_rx) = mpsc::channel();
                         if tx
                             .send(Job {
                                 request,
+                                trace,
+                                kind,
                                 reply: reply_tx,
                             })
                             .is_err()
@@ -281,15 +328,25 @@ fn serve_connection(mut stream: TcpStream, tx: &Sender<Job>, shared: &Shared) {
                         let Ok(response) = reply_rx.recv() else {
                             return;
                         };
-                        observe_latency(kind, started.elapsed());
+                        let elapsed = started.elapsed();
+                        observe_latency(kind, elapsed);
+                        flight::record("request", kind, || {
+                            format!("us={:.1}", elapsed.as_secs_f64() * 1e6)
+                        });
                         response
                     }
                     Err((code, message)) => {
                         counter!("fleet.protocol_errors", 1);
+                        flight::record("error", code.as_str(), || message.clone());
                         Response::Error { code, message }
                     }
                 };
                 let done = matches!(response, Response::Bye);
+                if let Some(trace) = trace {
+                    // Open the reply arrow; the client closes it after
+                    // reading the frame.
+                    emit_flow_start("fleet.reply", trace.reply_flow());
+                }
                 if write_frame(&mut stream, &response.to_payload()).is_err() || done {
                     return;
                 }

@@ -19,7 +19,7 @@ use selfheal_bti::td::{
     ChipTier, PhaseRateCache, PhaseRates, TierCounts, TierPolicy, TrapBank, TrapEnsemble,
 };
 use selfheal_bti::DeviceCondition;
-use selfheal_runtime::{par_map, par_map_indexed, SeedSequence};
+use selfheal_runtime::{par_map_indexed, SeedSequence};
 use selfheal_telemetry::fnv1a;
 use selfheal_units::{DutyCycle, Millivolts, Seconds};
 
@@ -265,8 +265,23 @@ impl FleetState {
         let policy = config.tier_policy();
         let epoch_end = self.epoch + 1;
         let shards = std::mem::take(&mut self.shards);
-        self.shards = par_map(shards, move |mut shard| {
+        let timing = selfheal_telemetry::metrics::enabled();
+        self.shards = par_map_indexed(shards, move |index, mut shard| {
+            // Per-shard wall time as heat gauges: under the tiered
+            // integrator shard costs diverge (hot-chip-heavy shards pay
+            // per-trap resolution), and straggler shards bound epoch
+            // latency. The clock is telemetry-only — the advance itself
+            // is identical with timing off.
+            let started = timing.then(selfheal_telemetry::trace_epoch_ns);
             shard.advance(&config, dt, epoch_end, policy.as_ref());
+            if let Some(started) = started {
+                let elapsed_ns = selfheal_telemetry::trace_epoch_ns().saturating_sub(started);
+                #[allow(clippy::cast_precision_loss)]
+                selfheal_telemetry::metrics::gauge_set(
+                    &format!("fleet.shard.{index}.epoch_us"),
+                    elapsed_ns as f64 / 1e3,
+                );
+            }
             shard
         });
         self.epoch = epoch_end;

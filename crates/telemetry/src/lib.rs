@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
@@ -66,6 +67,7 @@ pub use event::{
     current_thread_hash, register_thread_name, thread_name, trace_epoch_ns, Event, EventKind,
     Field, FieldValue,
 };
+pub use flight::{FlightRecord, FlightRecorder};
 pub use json::Json;
 pub use manifest::{fnv1a, git_describe, RunManifest};
 pub use metrics::{counter_add, gauge_set, histogram_observe, Histogram, Metric, MetricsSnapshot};

@@ -1,0 +1,85 @@
+//! Property tests for the flight-recorder ring: wraparound always
+//! retains exactly the newest-N records in claim order, and concurrent
+//! writers never lose their own most-recent record (provided the ring
+//! holds at least one slot per writer, which the claim counter
+//! guarantees for the final round of writes).
+
+use std::sync::{Arc, Barrier};
+
+use proptest::prelude::*;
+use selfheal_telemetry::FlightRecorder;
+
+proptest! {
+    #[test]
+    fn wraparound_keeps_the_newest_records_in_order(
+        capacity in 1usize..96,
+        events in 0usize..400,
+    ) {
+        let ring = FlightRecorder::with_capacity(capacity);
+        for i in 0..events {
+            ring.record("prop", "tick", format!("i={i}"));
+        }
+        let snapshot = ring.snapshot();
+        let retained = events.min(capacity);
+        prop_assert_eq!(snapshot.len(), retained);
+        prop_assert_eq!(ring.len(), retained);
+        // Exactly the newest `retained` claims, oldest first.
+        let expected: Vec<u64> =
+            ((events - retained) as u64..events as u64).collect();
+        let seqs: Vec<u64> = snapshot.iter().map(|r| r.seq).collect();
+        prop_assert_eq!(seqs, expected);
+        if let Some(last) = snapshot.last() {
+            prop_assert_eq!(last.detail.clone(), format!("i={}", events - 1));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_keep_their_own_last_record(
+        writers in 2usize..8,
+        per_writer in 1usize..120,
+        extra_capacity in 0usize..32,
+    ) {
+        // Capacity of at least `writers`: after the barrier each writer
+        // claims exactly one final slot, so even a full wrap during the
+        // free-for-all phase cannot evict another writer's closing record.
+        let capacity = writers + extra_capacity;
+        let ring = Arc::new(FlightRecorder::with_capacity(capacity));
+        let barrier = Arc::new(Barrier::new(writers));
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    for i in 0..per_writer - 1 {
+                        ring.record("prop", "burst", format!("w={w} i={i}"));
+                    }
+                    barrier.wait();
+                    ring.record("prop", "final", format!("w={w}"));
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("writer thread joins");
+        }
+
+        let total = (writers * per_writer) as u64;
+        prop_assert_eq!(ring.recorded(), total);
+        let snapshot = ring.snapshot();
+        prop_assert_eq!(snapshot.len(), (total as usize).min(capacity));
+        // Snapshot stays sorted by claim sequence even across threads.
+        for pair in snapshot.windows(2) {
+            prop_assert!(pair[0].seq < pair[1].seq);
+        }
+        // Every writer's closing record survived the wraparound.
+        for w in 0..writers {
+            let wanted = format!("w={w}");
+            prop_assert!(
+                snapshot
+                    .iter()
+                    .any(|r| r.name == "final" && r.detail == wanted),
+                "writer {} lost its final record (capacity {}, {} writers)",
+                w, capacity, writers
+            );
+        }
+    }
+}

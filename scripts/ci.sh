@@ -72,12 +72,18 @@ PY
 
 echo "== fleet daemon smoke" >&2
 # End-to-end service path: fleetd on an ephemeral loopback port with a
-# small fleet and an isolated checkpoint store, one request of each type
-# via fleet_storm --smoke, the live status file re-checked, and a clean
+# small fleet, an isolated checkpoint store, latency objectives, a flight
+# recorder, and a Chrome-trace sink; one request of each type (plus a
+# debug-dump) via fleet_storm --smoke tracing its own side, the live
+# status file re-checked (including mtime freshness and the slo gauges),
+# both trace halves merged into one connected flow graph, and a clean
 # shutdown that must leave a final checkpoint behind.
 SELFHEAL_TELEMETRY_SAMPLE=50ms \
+SELFHEAL_TELEMETRY="trace:$SMOKE_DIR/fleet.daemon.trace.json" \
     target/release/fleetd --chips 256 --shards 4 --workers 2 \
     --epoch-ms 100 --checkpoint-every 0 --cache-dir "$SMOKE_DIR/fleet-cache" \
+    --slo 'plan:p99<30s' --slo 'stats:p50<30s' \
+    --flight-dump "$SMOKE_DIR/fleet.flight.jsonl" \
     --status "$SMOKE_DIR/fleet.prom" --addr-file "$SMOKE_DIR/fleet.addr" &
 FLEETD_PID=$!
 for _ in $(seq 1 100); do
@@ -87,9 +93,44 @@ done
 [ -s "$SMOKE_DIR/fleet.addr" ] || { echo "fleetd never published its address" >&2; exit 1; }
 # Let a couple of wall-clock epochs land before poking it.
 sleep 0.3
-target/release/fleet_storm --smoke --connect "$(cat "$SMOKE_DIR/fleet.addr")" --shutdown
+target/release/fleet_storm --smoke --connect "$(cat "$SMOKE_DIR/fleet.addr")" \
+    --trace "$SMOKE_DIR/fleet.client.trace.json" --shutdown
 wait "$FLEETD_PID"
-target/release/selfheal-top --check "$SMOKE_DIR/fleet.prom"
+target/release/selfheal-top --check --max-age 60s "$SMOKE_DIR/fleet.prom"
+grep -q '^selfheal_slo_plan_p99_ok' "$SMOKE_DIR/fleet.prom" \
+    || { echo "status file carries no slo gauges" >&2; exit 1; }
+# A stale status file (dead writer) must now fail the checker.
+touch -d '10 minutes ago' "$SMOKE_DIR/fleet.prom"
+if target/release/selfheal-top --check --max-age 60s "$SMOKE_DIR/fleet.prom" 2>/dev/null; then
+    echo "selfheal-top --check --max-age accepted a stale status file" >&2; exit 1
+fi
+# The shutdown path dumps the flight ring: every line must be one JSON
+# event and the lifecycle records must bracket the requests.
+python3 - "$SMOKE_DIR/fleet.flight.jsonl" <<'PY'
+import json, sys
+kinds = []
+with open(sys.argv[1]) as fh:
+    for line in fh:
+        kinds.append(json.loads(line)["kind"])
+assert kinds, "flight dump is empty"
+assert "lifecycle" in kinds, f"no lifecycle records in {set(kinds)}"
+assert "request" in kinds, f"no request records in {set(kinds)}"
+print(f"flight dump: {len(kinds)} parseable event(s)")
+PY
+# Merge the two trace halves: at least one rpc flow must span both pids.
+target/release/trace_merge --out "$SMOKE_DIR/fleet.merged.trace.json" \
+    "$SMOKE_DIR/fleet.client.trace.json" "$SMOKE_DIR/fleet.daemon.trace.json"
+python3 - "$SMOKE_DIR/fleet.merged.trace.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+flows = {}
+for event in doc["traceEvents"]:
+    if event.get("ph") in ("s", "f"):
+        flows.setdefault((event["name"], event["id"]), set()).add(event["pid"])
+crossed = [k for k, pids in flows.items() if len(pids) > 1]
+assert crossed, f"no flow spans both processes ({len(flows)} flow id(s))"
+print(f"trace merge: {len(crossed)} cross-process flow(s) of {len(flows)}")
+PY
 CKPTS=$(find "$SMOKE_DIR/fleet-cache" -name '*.json' | wc -l)
 [ "$CKPTS" -ge 2 ] || { echo "no final checkpoint written (found $CKPTS cache files)" >&2; exit 1; }
 echo "fleet smoke: clean shutdown, $CKPTS checkpoint file(s)" >&2
@@ -98,9 +139,12 @@ echo "== tiered fleet smoke" >&2
 # The tiered integrator end to end: a --tiered daemon serves every
 # request type, checkpoints carry per-chip tier state, and a kill -9
 # mid-flight resumes from the checkpointed tiers (not a fresh fleet).
+# The smoke's debug-dump request persists the flight ring before the
+# kill, so even a SIGKILLed daemon leaves a parseable dump behind.
 target/release/fleetd --tiered --guard-band-mv 10 \
     --chips 256 --shards 4 --workers 2 \
     --epoch-ms 50 --checkpoint-every 2 --cache-dir "$SMOKE_DIR/tiered-cache" \
+    --flight-dump "$SMOKE_DIR/tiered.flight.jsonl" \
     --addr-file "$SMOKE_DIR/tiered.addr" 2> "$SMOKE_DIR/tiered.first.log" &
 TIERED_PID=$!
 for _ in $(seq 1 100); do
@@ -115,6 +159,15 @@ kill -9 "$TIERED_PID"
 wait "$TIERED_PID" 2>/dev/null || true
 grep -q '\[tiered, guard band' "$SMOKE_DIR/tiered.first.log" \
     || { echo "tiered fleetd did not announce tiering" >&2; exit 1; }
+# SIGKILL runs no hooks; the dump on disk is the one the debug-dump
+# request wrote moments before the kill, and it must still parse.
+python3 - "$SMOKE_DIR/tiered.flight.jsonl" <<'PY'
+import json, sys
+events = [json.loads(line) for line in open(sys.argv[1])]
+assert events, "flight dump is empty after kill -9"
+assert all(e["seq"] >= 0 and e["kind"] for e in events)
+print(f"flight dump survives kill -9: {len(events)} event(s)")
+PY
 rm -f "$SMOKE_DIR/tiered.addr"
 target/release/fleetd --tiered --guard-band-mv 10 \
     --chips 256 --shards 4 --workers 2 \
